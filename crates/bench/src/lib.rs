@@ -1,0 +1,87 @@
+//! Shared fixtures for the Criterion benchmark harness.
+//!
+//! Two bench targets live under `benches/`:
+//!
+//! * `figures` — one benchmark per paper table/figure, each timing a
+//!   scaled-down end-to-end regeneration of that experiment (the full-scale
+//!   versions are the `abacus-repro` subcommands);
+//! * `microbench` — the hot paths: engine events, contention math, batched
+//!   MLP inference per search-way count (the real Fig. 23 measurement),
+//!   multi-way search rounds, and MLP training epochs.
+
+use dnn_models::{ModelId, ModelLibrary};
+use gpu_sim::GpuSpec;
+use predictor::{GroupEntry, GroupSpec, LatencyModel, Mlp, MlpConfig};
+use serving::{train_unified, TrainerConfig};
+use std::sync::Arc;
+
+/// Shared, lazily-built fixture: model library, GPU and a small trained MLP.
+pub struct Fixture {
+    /// The instantiated model zoo.
+    pub lib: Arc<ModelLibrary>,
+    /// The A100 spec.
+    pub gpu: GpuSpec,
+    /// A quickly-trained unified MLP (bench-quality, not paper-quality).
+    pub mlp: Arc<Mlp>,
+}
+
+impl Fixture {
+    /// Build the fixture (a few seconds: samples, profiles and trains a
+    /// small MLP over one pair).
+    pub fn new() -> Self {
+        let lib = Arc::new(ModelLibrary::new());
+        let gpu = GpuSpec::a100();
+        let (mlp, _) = train_unified(
+            &[vec![ModelId::ResNet152, ModelId::Bert]],
+            &lib,
+            &gpu,
+            &gpu_sim::NoiseModel::calibrated(),
+            &TrainerConfig {
+                samples_per_set: 300,
+                runs_per_group: 2,
+                mlp: MlpConfig {
+                    epochs: 30,
+                    ..MlpConfig::default()
+                },
+                seed: 1,
+            },
+        );
+        Self {
+            lib,
+            gpu,
+            mlp: Arc::new(mlp),
+        }
+    }
+
+    /// The MLP as a trait object.
+    pub fn model(&self) -> Arc<dyn LatencyModel> {
+        self.mlp.clone()
+    }
+
+    /// A two-entry operator group (Res152 full + Bert prefix).
+    pub fn sample_group(&self, bert_ops: usize) -> GroupSpec {
+        GroupSpec::new(
+            vec![
+                GroupEntry {
+                    model: ModelId::ResNet152,
+                    op_start: 0,
+                    op_end: 363,
+                    input: ModelId::ResNet152.max_input(),
+                },
+                GroupEntry {
+                    model: ModelId::Bert,
+                    op_start: 0,
+                    op_end: bert_ops,
+                    input: ModelId::Bert.max_input(),
+                },
+            ],
+            &self.lib,
+        )
+    }
+}
+
+impl Default for Fixture {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,206 @@
+//! Shared plumbing for the experiment subcommands: scale presets, cached
+//! predictor training, and output helpers.
+
+use dnn_models::{ModelId, ModelLibrary};
+use gpu_sim::{GpuSpec, NoiseModel};
+use predictor::{persist, LatencyModel, Mlp, MlpConfig};
+use serving::{train_unified, TrainerConfig};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Experiment scale preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long smoke runs (CI-friendly).
+    Fast,
+    /// Default: minutes, paper-shaped results.
+    Medium,
+    /// Paper-scale sampling (tens of minutes on one core).
+    Full,
+}
+
+impl Scale {
+    /// Operator-group samples per co-location set for predictor training.
+    pub fn samples_per_set(self) -> usize {
+        match self {
+            Scale::Fast => 300,
+            Scale::Medium => 1_500,
+            Scale::Full => 2_000,
+        }
+    }
+
+    /// Profiling repetitions per group (paper: 100).
+    pub fn runs_per_group(self) -> usize {
+        match self {
+            Scale::Fast => 3,
+            Scale::Medium => 5,
+            Scale::Full => 100,
+        }
+    }
+
+    /// Serving horizon per (pair, policy) leg, ms.
+    pub fn horizon_ms(self) -> f64 {
+        match self {
+            Scale::Fast => 5_000.0,
+            Scale::Medium => 20_000.0,
+            Scale::Full => 60_000.0,
+        }
+    }
+
+    /// Cluster trace length, minutes (paper: 120).
+    pub fn trace_minutes(self) -> usize {
+        match self {
+            Scale::Fast => 6,
+            Scale::Medium => 24,
+            Scale::Full => 120,
+        }
+    }
+
+    /// MLP training epochs.
+    pub fn epochs(self) -> usize {
+        match self {
+            Scale::Fast => 40,
+            Scale::Medium => 150,
+            Scale::Full => 200,
+        }
+    }
+}
+
+/// Parsed global options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Scale preset.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for CSVs and cached models.
+    pub out_dir: PathBuf,
+    /// Force predictor retraining even if a cached model exists.
+    pub retrain: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Medium,
+            seed: 2021,
+            out_dir: PathBuf::from("results"),
+            retrain: false,
+        }
+    }
+}
+
+impl Options {
+    /// Path of a result CSV.
+    pub fn csv_path(&self, name: &str) -> PathBuf {
+        self.out_dir.join(format!("{name}.csv"))
+    }
+
+    /// Offered load for the QoS experiments: 50 QPS aggregate per GPU
+    /// (the paper's "load of 50 queries-per-second", which it notes "does
+    /// not saturate the GPU").
+    pub fn qos_load_total(&self) -> f64 {
+        50.0
+    }
+
+    /// Offered load for the peak-throughput experiments: 100 QPS aggregate.
+    pub fn peak_load_total(&self) -> f64 {
+        100.0
+    }
+
+    /// Trainer configuration for this scale.
+    pub fn trainer_config(&self) -> TrainerConfig {
+        TrainerConfig {
+            samples_per_set: self.scale.samples_per_set(),
+            runs_per_group: self.scale.runs_per_group(),
+            mlp: MlpConfig {
+                epochs: self.scale.epochs(),
+                ..MlpConfig::default()
+            },
+            seed: self.seed ^ 0xAB,
+        }
+    }
+}
+
+/// Parse `[scale] [--seed N] [--out DIR] [--retrain]` style arguments.
+pub fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fast" => opts.scale = Scale::Fast,
+            "--medium" => opts.scale = Scale::Medium,
+            "--full" => opts.scale = Scale::Full,
+            "--retrain" => opts.retrain = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a value")?;
+                opts.out_dir = PathBuf::from(v);
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Train (or load from cache) the unified duration model for `sets` on
+/// `gpu`. The cache key includes the GPU name and scale, so A100, MIG and
+/// V100 predictors coexist under `results/models/`.
+pub fn ensure_predictor(
+    tag: &str,
+    sets: &[Vec<ModelId>],
+    lib: &Arc<ModelLibrary>,
+    gpu: &GpuSpec,
+    opts: &Options,
+) -> Arc<Mlp> {
+    let path = opts
+        .out_dir
+        .join("models")
+        .join(format!("{tag}_{:?}.mlp", opts.scale).to_lowercase());
+    if !opts.retrain {
+        if let Ok(m) = persist::load(&path) {
+            eprintln!("[predictor] loaded cached model {}", path.display());
+            return Arc::new(m);
+        }
+    }
+    eprintln!(
+        "[predictor] training unified model '{tag}' over {} sets ({} samples x {} runs each)...",
+        sets.len(),
+        opts.scale.samples_per_set(),
+        opts.scale.runs_per_group()
+    );
+    let t0 = std::time::Instant::now();
+    let (mlp, data) = train_unified(sets, lib, gpu, &NoiseModel::calibrated(), &opts.trainer_config());
+    let mut rng = workload::SeededRng::new(1);
+    let (_, test) = data.split(0.9, &mut rng);
+    let err = predictor::eval::mape(&mlp, &test);
+    eprintln!(
+        "[predictor] trained in {:.1?}; held-out MAPE {:.1}% ({} samples)",
+        t0.elapsed(),
+        err * 100.0,
+        data.len()
+    );
+    if let Err(e) = persist::save(&mlp, &path) {
+        eprintln!("[predictor] warning: could not cache model: {e}");
+    }
+    Arc::new(mlp)
+}
+
+/// Upcast helper.
+pub fn as_model(mlp: &Arc<Mlp>) -> Arc<dyn LatencyModel> {
+    mlp.clone()
+}
+
+/// Pretty-print a pair label the way the paper's figures do.
+pub fn pair_label(models: &[ModelId]) -> String {
+    let names: Vec<&str> = models.iter().map(|m| m.name()).collect();
+    format!("({})", names.join(","))
+}
+
+/// Ensure the output directory exists.
+pub fn ensure_out_dir(path: &Path) {
+    std::fs::create_dir_all(path).expect("cannot create output directory");
+}

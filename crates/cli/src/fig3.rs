@@ -1,0 +1,64 @@
+//! Fig. 3 — latency CDF of ResNet-152 under MPS free overlap against each
+//! co-runner.
+
+use crate::common::Options;
+use abacus_metrics::{Cdf, CsvWriter, Table};
+use dnn_models::{ModelId, ModelLibrary, QueryInput};
+use gpu_sim::GpuSpec;
+use serving::{mps_victim_latencies, victim_solo_ms, MpsConfig};
+
+/// The six co-runners of Fig. 3 (Table 1's models except the victim).
+fn corunners() -> Vec<ModelId> {
+    ModelId::PAPER_MODELS
+        .into_iter()
+        .filter(|&m| m != ModelId::ResNet152)
+        .collect()
+}
+
+/// Run the experiment and emit `results/fig3.csv` + a console table.
+pub fn run(opts: &Options) {
+    let lib = ModelLibrary::new();
+    let gpu = GpuSpec::a100();
+    let horizon = opts.scale.horizon_ms().max(10_000.0);
+    let mut csv = CsvWriter::create(
+        opts.csv_path("fig3"),
+        &["corunner", "quantile", "latency_ms"],
+    )
+    .expect("csv");
+    let mut table = Table::new(vec!["corunner", "p50", "p90", "p99", "max"]);
+
+    let base = MpsConfig {
+        victim: ModelId::ResNet152,
+        victim_input: QueryInput::new(32, 1),
+        antagonist: ModelId::ResNet50,
+        antagonist_qps: 35.0,
+        horizon_ms: horizon,
+        seed: opts.seed,
+    };
+    let solo = victim_solo_ms(&base, &lib, &gpu);
+    println!(
+        "Fig. 3 — ResNet-152 (bs 32) latency under MPS free overlap (solo = {solo:.1} ms; paper: 24 ms solo, tail up to 241 ms)"
+    );
+    for co in corunners() {
+        let cfg = MpsConfig {
+            antagonist: co,
+            ..base.clone()
+        };
+        let lat = mps_victim_latencies(&cfg, &lib, &gpu);
+        let cdf = Cdf::new(&lat);
+        for (v, q) in cdf.curve(40) {
+            csv.write_row(vec![co.name().into(), format!("{q}"), format!("{v}")])
+                .expect("csv row");
+        }
+        table.row(vec![
+            co.name().to_string(),
+            format!("{:.1}", cdf.value_at(0.5)),
+            format!("{:.1}", cdf.value_at(0.9)),
+            format!("{:.1}", cdf.value_at(0.99)),
+            format!("{:.1}", cdf.value_at(1.0)),
+        ]);
+    }
+    csv.flush().expect("csv flush");
+    println!("{}", table.render());
+    println!("wrote {}", opts.csv_path("fig3").display());
+}

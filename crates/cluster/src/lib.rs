@@ -1,0 +1,21 @@
+//! Cluster-level serving (§7.6, Fig. 22) and the §7.9 autoscaling
+//! extension.
+//!
+//! Abacus deliberately does *not* replace cluster-level management (§3.1):
+//! it slots under any router. [`sim`] pits "Kubernetes routing + Abacus on
+//! every GPU" against a Clockwork model (central EDF admission, exclusive
+//! per-GPU execution) on a 16-GPU V100 cluster replaying a synthetic
+//! MAF-like trace; [`timeline`] produces the per-minute
+//! throughput/p99/average series of Fig. 22; [`autoscale`] implements the
+//! scale-in/out/up decision rule sketched as future work.
+
+pub mod autoscale;
+pub mod sim;
+pub mod timeline;
+
+pub use autoscale::{AutoscalePolicy, NodeSignals, ScaleDecision};
+pub use sim::{
+    cluster_workload, run_cluster, run_cluster_detailed, ClusterConfig, ClusterRunResult,
+    ClusterSystem, GpuUsage,
+};
+pub use timeline::{build_timeline, summarize, TimelinePoint, TimelineSummary};

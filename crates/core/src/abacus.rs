@@ -1,0 +1,311 @@
+//! The Abacus headroom-based query controller (§4, §6).
+//!
+//! Each round:
+//!
+//! 1. sort active queries by QoS headroom, ascending (Eq. 2);
+//! 2. drop any query that is already past its deadline, and any head query
+//!    whose remaining operators alone are predicted not to fit in its
+//!    headroom (§6.2's drop mechanism — continuing would violate this *and*
+//!    later queries);
+//! 3. run the multi-way search ([`crate::search`]) to form the largest
+//!    operator group that the latency predictor certifies against the head
+//!    query's headroom;
+//! 4. account for scheduling latency: with pipelined scheduling (§6.3,
+//!    Fig. 13) the search overlaps the previous group's execution and costs
+//!    nothing on the critical path unless the GPU was idle; the
+//!    non-pipelined ablation charges it every round.
+
+use crate::query::Query;
+use crate::scheduler::{RoundDecision, Scheduler};
+use crate::search::{plan_group, SearchResult};
+use dnn_models::ModelLibrary;
+use predictor::LatencyModel;
+use std::sync::Arc;
+
+/// Controller configuration.
+#[derive(Debug, Clone)]
+pub struct AbacusConfig {
+    /// Search ways `m` of the multi-way search (Fig. 23; default 4).
+    pub ways: usize,
+    /// Latency of one batched prediction round, ms (Fig. 23 measures
+    /// 0.066–0.088 ms on one core; §6.3 reports ≈ 0.26 ms for a full
+    /// scheduling decision of ≈ 3 rounds).
+    pub predict_round_ms: f64,
+    /// Fixed controller bookkeeping per round (sorting, headroom math), ms.
+    pub base_overhead_ms: f64,
+    /// Whether scheduling is pipelined with execution (§6.3). Disable for
+    /// the ablation bench.
+    pub pipelined: bool,
+    /// Fixed safety margin subtracted from the head query's headroom, ms.
+    pub margin_ms: f64,
+    /// Relative safety margin: the budget is additionally divided by
+    /// `1 + margin_frac`, absorbing the predictor's *proportional* error
+    /// tail (the §5.2 noise is multiplicative, so a fixed margin alone
+    /// under-protects long groups).
+    pub margin_frac: f64,
+}
+
+impl Default for AbacusConfig {
+    fn default() -> Self {
+        Self {
+            ways: 4,
+            predict_round_ms: 0.09,
+            base_overhead_ms: 0.02,
+            pipelined: true,
+            margin_ms: 0.3,
+            margin_frac: 0.05,
+        }
+    }
+}
+
+/// The Abacus scheduler.
+pub struct AbacusScheduler {
+    model: Arc<dyn LatencyModel>,
+    lib: Arc<ModelLibrary>,
+    cfg: AbacusConfig,
+    /// Duration of the previously executed group: the window pipelined
+    /// scheduling can hide search latency in.
+    hide_window_ms: f64,
+    /// Cumulative prediction rounds (for the overhead report).
+    total_prediction_rounds: u64,
+    /// Cumulative scheduling rounds.
+    total_rounds: u64,
+}
+
+impl AbacusScheduler {
+    /// Create a controller using `model` as the overlap-aware latency
+    /// predictor.
+    pub fn new(model: Arc<dyn LatencyModel>, lib: Arc<ModelLibrary>, cfg: AbacusConfig) -> Self {
+        assert!(cfg.ways >= 1);
+        Self {
+            model,
+            lib,
+            cfg,
+            hide_window_ms: 0.0,
+            total_prediction_rounds: 0,
+            total_rounds: 0,
+        }
+    }
+
+    /// Average prediction rounds per scheduling decision so far.
+    pub fn mean_prediction_rounds(&self) -> f64 {
+        if self.total_rounds == 0 {
+            return 0.0;
+        }
+        self.total_prediction_rounds as f64 / self.total_rounds as f64
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AbacusConfig {
+        &self.cfg
+    }
+}
+
+impl Scheduler for AbacusScheduler {
+    fn decide(&mut self, now_ms: f64, queue: &[Query]) -> RoundDecision {
+        let mut dropped = Vec::new();
+        // Sort by headroom ascending (Eq. 2); ties by id for determinism.
+        let mut sorted: Vec<&Query> = queue.iter().collect();
+        sorted.sort_by(|a, b| {
+            a.headroom_ms(now_ms)
+                .total_cmp(&b.headroom_ms(now_ms))
+                .then(a.id.cmp(&b.id))
+        });
+        // Expired queries can never meet QoS: drop outright.
+        sorted.retain(|q| {
+            if q.headroom_ms(now_ms) < 0.0 {
+                dropped.push(q.id);
+                false
+            } else {
+                true
+            }
+        });
+        // Each service is a single process handling one query at a time
+        // (§6.1): only the least-headroom query of each model is eligible
+        // this round; later queries of the same service wait behind it.
+        let mut seen_models = 0u32;
+        sorted.retain(|q| {
+            let bit = 1u32 << q.model.index();
+            if seen_models & bit != 0 {
+                false
+            } else {
+                seen_models |= bit;
+                true
+            }
+        });
+
+        let mut prediction_rounds = 0usize;
+        let mut planned = None;
+        while !sorted.is_empty() {
+            let budget = (sorted[0].headroom_ms(now_ms) - self.cfg.margin_ms)
+                / (1.0 + self.cfg.margin_frac);
+            match plan_group(&sorted, budget, self.model.as_ref(), &self.lib, self.cfg.ways) {
+                SearchResult::Planned(mut p) => {
+                    prediction_rounds += p.prediction_rounds;
+                    p.prediction_rounds = prediction_rounds;
+                    planned = Some(p);
+                    break;
+                }
+                SearchResult::Infeasible {
+                    prediction_rounds: r,
+                } => {
+                    // §6.2: keeping the head query would violate its QoS and
+                    // delay everyone behind it — drop it and retry.
+                    prediction_rounds += r;
+                    dropped.push(sorted[0].id);
+                    sorted.remove(0);
+                }
+            }
+        }
+
+        self.total_rounds += 1;
+        self.total_prediction_rounds += prediction_rounds as u64;
+        let search_ms =
+            self.cfg.base_overhead_ms + prediction_rounds as f64 * self.cfg.predict_round_ms;
+        let overhead_ms = if self.cfg.pipelined {
+            // The search for this round ran while the previous group was
+            // still executing (Fig. 13); only the part that did not fit in
+            // that window lands on the critical path.
+            let charged = (search_ms - self.hide_window_ms).max(0.0);
+            self.hide_window_ms = 0.0;
+            charged
+        } else {
+            search_ms
+        };
+
+        RoundDecision {
+            dropped,
+            group: planned,
+            overhead_ms,
+        }
+    }
+
+    fn on_group_complete(&mut self, duration_ms: f64) {
+        self.hide_window_ms = duration_ms;
+    }
+
+    fn name(&self) -> &'static str {
+        "Abacus"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::{ModelId, QueryInput};
+    use predictor::features::SLOT_WIDTH;
+    use predictor::MAX_COLOCATED;
+
+    /// Synthetic monotone duration model (same as the search tests).
+    struct SpanModel;
+    impl LatencyModel for SpanModel {
+        fn predict_one(&self, x: &[f64]) -> f64 {
+            let mut total: f64 = 0.0;
+            for slot in 0..MAX_COLOCATED {
+                let base = predictor::MODEL_SLOT_BASE + slot * SLOT_WIDTH;
+                total += (x[base + 1] - x[base]) * 10.0;
+            }
+            total
+        }
+        fn name(&self) -> &'static str {
+            "span"
+        }
+    }
+
+    fn scheduler(pipelined: bool) -> AbacusScheduler {
+        AbacusScheduler::new(
+            Arc::new(SpanModel),
+            Arc::new(ModelLibrary::new()),
+            AbacusConfig {
+                pipelined,
+                ..AbacusConfig::default()
+            },
+        )
+    }
+
+    fn query(id: u64, model: ModelId, arrival: f64, qos: f64) -> Query {
+        let lib = ModelLibrary::new();
+        let input = QueryInput::new(8, if model.is_nlp() { 16 } else { 1 });
+        let n = lib.graph(model, input).len();
+        Query::new(id, model, input, arrival, qos, n)
+    }
+
+    #[test]
+    fn guarantees_least_headroom_query_first() {
+        let mut s = scheduler(true);
+        let queue = vec![
+            query(1, ModelId::ResNet50, 0.0, 100.0),
+            query(2, ModelId::Bert, 0.0, 30.0), // least headroom
+        ];
+        let d = s.decide(5.0, &queue);
+        let g = d.group.unwrap();
+        // Head entry is the Bert query, fully scheduled.
+        assert_eq!(g.entries[0].query_id, 2);
+        assert_eq!(g.entries[0].op_end, queue[1].n_ops);
+        assert!(d.dropped.is_empty());
+    }
+
+    #[test]
+    fn infeasible_head_dropped_then_rest_scheduled() {
+        let mut s = scheduler(true);
+        let queue = vec![
+            query(1, ModelId::ResNet50, 0.0, 100.0),
+            // 5 ms of headroom left but needs 10 ms: must be dropped.
+            query(2, ModelId::Vgg19, 0.0, 25.0),
+        ];
+        let d = s.decide(20.0, &queue);
+        assert_eq!(d.dropped, vec![2]);
+        let g = d.group.unwrap();
+        assert_eq!(g.entries[0].query_id, 1);
+    }
+
+    #[test]
+    fn expired_queries_dropped_without_search() {
+        let mut s = scheduler(true);
+        let queue = vec![query(1, ModelId::ResNet50, 0.0, 10.0)];
+        let d = s.decide(50.0, &queue);
+        assert_eq!(d.dropped, vec![1]);
+        assert!(d.group.is_none());
+    }
+
+    #[test]
+    fn pipelining_hides_search_cost() {
+        let mut s = scheduler(true);
+        let queue = vec![query(1, ModelId::ResNet50, 0.0, 100.0)];
+        // Cold start (idle GPU): full cost charged.
+        let cold = s.decide(0.0, &queue);
+        assert!(cold.overhead_ms > 0.0);
+        // After a 20 ms group, the next search hides completely.
+        s.on_group_complete(20.0);
+        let warm = s.decide(25.0, &queue);
+        assert_eq!(warm.overhead_ms, 0.0);
+    }
+
+    #[test]
+    fn non_pipelined_always_charges() {
+        let mut s = scheduler(false);
+        let queue = vec![query(1, ModelId::ResNet50, 0.0, 100.0)];
+        s.on_group_complete(20.0);
+        let d = s.decide(25.0, &queue);
+        assert!(d.overhead_ms > 0.0);
+    }
+
+    #[test]
+    fn empty_queue_idles() {
+        let mut s = scheduler(true);
+        let d = s.decide(0.0, &[]);
+        assert!(d.group.is_none());
+        assert!(d.dropped.is_empty());
+    }
+
+    #[test]
+    fn prediction_round_statistics_accumulate() {
+        let mut s = scheduler(true);
+        let queue = vec![
+            query(1, ModelId::ResNet50, 0.0, 100.0),
+            query(2, ModelId::Bert, 0.0, 60.0),
+        ];
+        let _ = s.decide(0.0, &queue);
+        assert!(s.mean_prediction_rounds() >= 1.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! In-flight query state and headroom arithmetic (Eq. 2–3).
+
+use dnn_models::{ModelId, QueryInput};
+
+/// A user query being served: one DNN inference request with a QoS target,
+/// processed as a sequence of operators that may span several scheduling
+/// rounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Unique id within the experiment.
+    pub id: u64,
+    /// Which service the query belongs to.
+    pub model: ModelId,
+    /// Concrete input (batch size, sequence length).
+    pub input: QueryInput,
+    /// Arrival timestamp, ms.
+    pub arrival_ms: f64,
+    /// QoS target as a latency budget from arrival, ms.
+    pub qos_ms: f64,
+    /// Index of the next operator to execute (operators before it are done).
+    pub next_op: usize,
+    /// Total operators in the query's graph.
+    pub n_ops: usize,
+    /// When the query's first operator group started executing, if it has
+    /// started (for the §3.3 queueing-delay breakdown).
+    pub first_start_ms: Option<f64>,
+}
+
+impl Query {
+    /// Create a fresh (unprocessed) query.
+    pub fn new(
+        id: u64,
+        model: ModelId,
+        input: QueryInput,
+        arrival_ms: f64,
+        qos_ms: f64,
+        n_ops: usize,
+    ) -> Self {
+        assert!(n_ops > 0, "a query must have operators");
+        Self {
+            id,
+            model,
+            input,
+            arrival_ms,
+            qos_ms,
+            next_op: 0,
+            n_ops,
+            first_start_ms: None,
+        }
+    }
+
+    /// Record when the query first started executing (idempotent).
+    pub fn mark_started(&mut self, t_ms: f64) {
+        if self.first_start_ms.is_none() {
+            self.first_start_ms = Some(t_ms);
+        }
+    }
+
+    /// Time spent queueing before the first operator ran; `None` until the
+    /// query has started.
+    pub fn queue_ms(&self) -> Option<f64> {
+        self.first_start_ms.map(|t| t - self.arrival_ms)
+    }
+
+    /// Absolute deadline, ms.
+    pub fn deadline_ms(&self) -> f64 {
+        self.arrival_ms + self.qos_ms
+    }
+
+    /// Eq. 2: QoS headroom at `now` — the QoS target minus everything that
+    /// has already elapsed (queueing, data transfer, completed operators are
+    /// all contained in `now − arrival`). Negative when the deadline has
+    /// passed.
+    pub fn headroom_ms(&self, now_ms: f64) -> f64 {
+        self.qos_ms - (now_ms - self.arrival_ms)
+    }
+
+    /// Eq. 3: the headroom available to a group being *planned* while the
+    /// current group (predicted to last `predict_lat_ms`) is still
+    /// executing.
+    pub fn schedule_headroom_ms(&self, now_ms: f64, predict_lat_ms: f64) -> f64 {
+        self.headroom_ms(now_ms) - predict_lat_ms
+    }
+
+    /// Operators not yet executed.
+    pub fn remaining_ops(&self) -> usize {
+        self.n_ops - self.next_op
+    }
+
+    /// True once every operator has run.
+    pub fn is_complete(&self) -> bool {
+        self.next_op >= self.n_ops
+    }
+
+    /// Record that operators `[next_op, up_to)` have been executed.
+    ///
+    /// # Panics
+    /// Panics if `up_to` moves backwards or beyond the graph.
+    pub fn advance_to(&mut self, up_to: usize) {
+        assert!(
+            up_to >= self.next_op && up_to <= self.n_ops,
+            "invalid progress {} -> {up_to} of {}",
+            self.next_op,
+            self.n_ops
+        );
+        self.next_op = up_to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::QueryInput;
+
+    fn q() -> Query {
+        Query::new(1, ModelId::ResNet50, QueryInput::new(8, 1), 100.0, 50.0, 10)
+    }
+
+    #[test]
+    fn headroom_decreases_with_time() {
+        let q = q();
+        assert_eq!(q.headroom_ms(100.0), 50.0);
+        assert_eq!(q.headroom_ms(130.0), 20.0);
+        assert!(q.headroom_ms(151.0) < 0.0);
+        assert_eq!(q.deadline_ms(), 150.0);
+    }
+
+    #[test]
+    fn schedule_headroom_subtracts_inflight_prediction() {
+        let q = q();
+        // Eq. 3: planning during a 15 ms in-flight group.
+        assert_eq!(q.schedule_headroom_ms(120.0, 15.0), 50.0 - 20.0 - 15.0);
+    }
+
+    #[test]
+    fn progress_tracking() {
+        let mut q = q();
+        assert_eq!(q.remaining_ops(), 10);
+        q.advance_to(4);
+        assert_eq!(q.remaining_ops(), 6);
+        assert!(!q.is_complete());
+        q.advance_to(10);
+        assert!(q.is_complete());
+    }
+
+    #[test]
+    fn queue_time_tracking() {
+        let mut q = q();
+        assert_eq!(q.queue_ms(), None);
+        q.mark_started(112.0);
+        assert_eq!(q.queue_ms(), Some(12.0));
+        // Idempotent: later rounds do not move the first start.
+        q.mark_started(140.0);
+        assert_eq!(q.queue_ms(), Some(12.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid progress")]
+    fn progress_cannot_regress() {
+        let mut q = q();
+        q.advance_to(5);
+        q.advance_to(3);
+    }
+}

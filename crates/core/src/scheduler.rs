@@ -1,0 +1,48 @@
+//! The scheduling interface shared by Abacus and the sequential baselines.
+//!
+//! A serving node calls [`Scheduler::decide`] whenever the GPU becomes
+//! free; the scheduler may drop queries (the query-drop mechanism §7.1
+//! enables for every policy) and proposes at most one operator group to
+//! execute. The node reports the executed group's duration back through
+//! [`Scheduler::on_group_complete`], which is how Abacus knows how much
+//! search latency the pipelined scheduling of §6.3 was able to hide.
+
+use crate::group::PlannedGroup;
+use crate::query::Query;
+
+/// The outcome of one scheduling decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundDecision {
+    /// Ids of queries dropped this round (the serving loop removes them and
+    /// records them as QoS violations).
+    pub dropped: Vec<u64>,
+    /// The group to execute next, if any query remains.
+    pub group: Option<PlannedGroup>,
+    /// Host-side scheduling latency charged before the group starts, ms.
+    pub overhead_ms: f64,
+}
+
+impl RoundDecision {
+    /// An idle decision (empty queue).
+    pub fn idle() -> Self {
+        Self {
+            dropped: Vec::new(),
+            group: None,
+            overhead_ms: 0.0,
+        }
+    }
+}
+
+/// A per-GPU scheduling policy.
+pub trait Scheduler: Send {
+    /// Decide what to run next. `queue` holds every incomplete, undropped
+    /// query; the scheduler must reference queries by id and must not
+    /// assume any ordering.
+    fn decide(&mut self, now_ms: f64, queue: &[Query]) -> RoundDecision;
+
+    /// Observe the duration of the group that just finished executing.
+    fn on_group_complete(&mut self, _duration_ms: f64) {}
+
+    /// Display name (figure labels).
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,358 @@
+//! Multi-way search for the optimal operator group (§6.2–6.3, Fig. 12).
+//!
+//! Given the active queries sorted by QoS headroom (ascending), the search:
+//!
+//! 1. puts **all** remaining operators of the head query (least headroom)
+//!    into the candidate group — this round guarantees *its* QoS;
+//! 2. **level 1 — across queries**: finds how many of the next queries fit
+//!    *fully* alongside it, probing candidates in batches of `ways`
+//!    predictions (the paper's "search between queries in three ways");
+//! 3. **level 2 — within the first query that did not fit fully**: an
+//!    m-ary search over its operator count finds the longest prefix that
+//!    still fits (the paper's "search between op 1–5 in three ways inside
+//!    q1").
+//!
+//! Every batch of ≤ `ways` predictions is one *prediction round*; Fig. 23
+//! measures the per-round latency, and §6.3 observes most decisions finish
+//! within three rounds. If even the head query alone cannot fit in its
+//! headroom the search reports [`SearchResult::Infeasible`] and the
+//! controller drops it (§6.2's drop mechanism).
+
+use crate::group::{PlannedEntry, PlannedGroup};
+use crate::query::Query;
+use dnn_models::ModelLibrary;
+use predictor::{GroupEntry, GroupSpec, LatencyModel, MAX_COLOCATED};
+
+/// Result of one group search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchResult {
+    /// A feasible group was found.
+    Planned(PlannedGroup),
+    /// The head query alone exceeds the budget; it should be dropped.
+    Infeasible {
+        /// Prediction rounds spent discovering this.
+        prediction_rounds: usize,
+    },
+}
+
+/// Candidate group under construction: head + `full` queries + optional
+/// partial prefix of one more.
+fn candidate_spec(
+    queries: &[&Query],
+    full: usize,
+    partial_ops: usize,
+    lib: &ModelLibrary,
+) -> GroupSpec {
+    let mut entries: Vec<GroupEntry> = Vec::with_capacity(full + 2);
+    for q in &queries[..=full] {
+        entries.push(GroupEntry {
+            model: q.model,
+            op_start: q.next_op,
+            op_end: q.n_ops,
+            input: q.input,
+        });
+    }
+    if partial_ops > 0 {
+        let q = queries[full + 1];
+        entries.push(GroupEntry {
+            model: q.model,
+            op_start: q.next_op,
+            op_end: q.next_op + partial_ops,
+            input: q.input,
+        });
+    }
+    GroupSpec::new(entries, lib)
+}
+
+fn predict_batch(
+    specs: &[GroupSpec],
+    model: &dyn LatencyModel,
+    lib: &ModelLibrary,
+    rounds: &mut usize,
+) -> Vec<f64> {
+    *rounds += 1;
+    let xs: Vec<Vec<f64>> = specs.iter().map(|s| s.features(lib)).collect();
+    model.predict_batch(&xs)
+}
+
+/// Run the multi-way search.
+///
+/// `queries` must be sorted by headroom ascending, contain 1 to any number
+/// of incomplete queries with pairwise-distinct models, and `budget_ms` is
+/// the schedulable headroom of `queries[0]`.
+pub fn plan_group(
+    queries: &[&Query],
+    budget_ms: f64,
+    model: &dyn LatencyModel,
+    lib: &ModelLibrary,
+    ways: usize,
+) -> SearchResult {
+    assert!(!queries.is_empty(), "need at least one query");
+    assert!(ways >= 1, "need at least one search way");
+    debug_assert!(queries.iter().all(|q| !q.is_complete()));
+    let mut rounds = 0;
+
+    // Level 1: head alone, then head + 1 full, + 2 full, ... in one batch
+    // (at most MAX_COLOCATED candidates exist).
+    let max_full = (queries.len() - 1).min(MAX_COLOCATED - 1);
+    let candidates: Vec<GroupSpec> = (0..=max_full)
+        .map(|j| candidate_spec(queries, j, 0, lib))
+        .collect();
+    let mut level1 = Vec::with_capacity(candidates.len());
+    for chunk in candidates.chunks(ways.max(1)) {
+        level1.extend(predict_batch(chunk, model, lib, &mut rounds));
+    }
+    if level1[0] > budget_ms {
+        return SearchResult::Infeasible {
+            prediction_rounds: rounds,
+        };
+    }
+    // Largest prefix of full inclusions that fits.
+    let mut best_full = 0;
+    let mut best_pred = level1[0];
+    for (j, &p) in level1.iter().enumerate().skip(1) {
+        if p <= budget_ms {
+            best_full = j;
+            best_pred = p;
+        } else {
+            break;
+        }
+    }
+
+    // Level 2: m-ary search inside the first query that did not fit fully.
+    let mut partial_ops = 0;
+    if best_full < max_full {
+        let next_q = queries[best_full + 1];
+        let rem = next_q.remaining_ops();
+        // c = 0 is feasible (it is `best_full`); c = rem is known infeasible.
+        let mut lo = 0usize;
+        let mut hi = rem;
+        let mut lo_pred = best_pred;
+        while hi - lo > 1 {
+            // `ways` probe points evenly spaced in (lo, hi).
+            let span = hi - lo;
+            let mut probes: Vec<usize> = (1..=ways)
+                .map(|i| lo + (span * i) / (ways + 1))
+                .filter(|&c| c > lo && c < hi)
+                .collect();
+            probes.dedup();
+            if probes.is_empty() {
+                probes.push(lo + span / 2);
+            }
+            let specs: Vec<GroupSpec> = probes
+                .iter()
+                .map(|&c| candidate_spec(queries, best_full, c, lib))
+                .collect();
+            let preds = predict_batch(&specs, model, lib, &mut rounds);
+            // Narrow to the widest feasible probe.
+            let mut new_lo = lo;
+            let mut new_lo_pred = lo_pred;
+            let mut new_hi = hi;
+            for (&c, &p) in probes.iter().zip(&preds) {
+                if p <= budget_ms {
+                    if c > new_lo {
+                        new_lo = c;
+                        new_lo_pred = p;
+                    }
+                } else if c < new_hi {
+                    new_hi = c;
+                }
+            }
+            if new_lo == lo && new_hi == hi {
+                // No progress possible (flat predictions); stop.
+                break;
+            }
+            lo = new_lo;
+            lo_pred = new_lo_pred;
+            hi = new_hi.max(lo + 1);
+        }
+        partial_ops = lo;
+        best_pred = lo_pred;
+    }
+
+    let mut entries: Vec<PlannedEntry> = queries[..=best_full]
+        .iter()
+        .map(|q| PlannedEntry {
+            query_id: q.id,
+            op_start: q.next_op,
+            op_end: q.n_ops,
+        })
+        .collect();
+    if partial_ops > 0 {
+        let q = queries[best_full + 1];
+        entries.push(PlannedEntry {
+            query_id: q.id,
+            op_start: q.next_op,
+            op_end: q.next_op + partial_ops,
+        });
+    }
+    SearchResult::Planned(PlannedGroup {
+        entries,
+        predicted_ms: best_pred,
+        prediction_rounds: rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::{ModelId, ModelLibrary, QueryInput};
+    use predictor::features::SLOT_WIDTH;
+
+    /// A synthetic monotone duration model: per-slot cost proportional to
+    /// the normalised operator span, as if all operators were equal.
+    struct SpanModel {
+        ms_per_unit_span: f64,
+    }
+
+    impl LatencyModel for SpanModel {
+        fn predict_one(&self, x: &[f64]) -> f64 {
+            let mut total: f64 = 0.0;
+            for slot in 0..MAX_COLOCATED {
+                let base = predictor::MODEL_SLOT_BASE + slot * SLOT_WIDTH;
+                total += (x[base + 1] - x[base]) * self.ms_per_unit_span;
+            }
+            total
+        }
+        fn name(&self) -> &'static str {
+            "span"
+        }
+    }
+
+    fn lib() -> ModelLibrary {
+        ModelLibrary::new()
+    }
+
+    fn query(id: u64, model: ModelId, next_op: usize) -> Query {
+        let lib = lib();
+        let input = QueryInput::new(8, if model.is_nlp() { 16 } else { 1 });
+        let n = lib.graph(model, input).len();
+        let mut q = Query::new(id, model, input, 0.0, 100.0, n);
+        q.advance_to(next_op);
+        q
+    }
+
+    #[test]
+    fn head_always_fully_included() {
+        let lib = lib();
+        let q0 = query(0, ModelId::ResNet50, 30);
+        let model = SpanModel { ms_per_unit_span: 10.0 };
+        // Remaining span of q0: (125-30)/125 * 10 = 7.6 ms < 8.
+        match plan_group(&[&q0], 8.0, &model, &lib, 4) {
+            SearchResult::Planned(p) => {
+                assert_eq!(p.entries.len(), 1);
+                assert_eq!(p.entries[0].op_start, 30);
+                assert_eq!(p.entries[0].op_end, 125);
+                assert!(p.predicted_ms <= 8.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_head_is_reported() {
+        let lib = lib();
+        let q0 = query(0, ModelId::ResNet50, 0);
+        let model = SpanModel { ms_per_unit_span: 10.0 };
+        // Full span = 10 ms > 5 ms budget.
+        assert!(matches!(
+            plan_group(&[&q0], 5.0, &model, &lib, 4),
+            SearchResult::Infeasible { .. }
+        ));
+    }
+
+    #[test]
+    fn level1_adds_whole_queries_in_headroom_order() {
+        let lib = lib();
+        let q0 = query(0, ModelId::ResNet50, 0);
+        let q1 = query(1, ModelId::Bert, 0);
+        let q2 = query(2, ModelId::Vgg16, 0);
+        let model = SpanModel { ms_per_unit_span: 10.0 };
+        // Budget 25 ms: q0 (10) + q1 (10) fit; q2 (10) does not fit fully,
+        // so its prefix is added partially.
+        match plan_group(&[&q0, &q1, &q2], 25.0, &model, &lib, 4) {
+            SearchResult::Planned(p) => {
+                assert!(p.entries.len() >= 2);
+                assert_eq!(p.entries[0].query_id, 0);
+                assert_eq!(p.entries[1].query_id, 1);
+                assert_eq!(p.entries[1].op_end, q1.n_ops);
+                if let Some(e2) = p.entries.get(2) {
+                    // Partial prefix of VGG16 (36 ops): ~half fits.
+                    assert_eq!(e2.query_id, 2);
+                    assert!(e2.op_end < q2.n_ops);
+                    let frac = e2.len() as f64 / q2.n_ops as f64;
+                    assert!((0.3..0.6).contains(&frac), "frac {frac}");
+                }
+                assert!(p.predicted_ms <= 25.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_prefix_maximised_by_mary_search() {
+        let lib = lib();
+        let q0 = query(0, ModelId::ResNet50, 100); // small remaining span
+        let q1 = query(1, ModelId::ResNet152, 0); // 363 ops to slice
+        let model = SpanModel { ms_per_unit_span: 10.0 };
+        // q0 remaining: 25/125*10 = 2 ms. Budget 7 ms -> 5 ms for q1:
+        // 5 ms = 0.5 span = ~181 ops.
+        match plan_group(&[&q0, &q1], 7.0, &model, &lib, 4) {
+            SearchResult::Planned(p) => {
+                assert_eq!(p.entries.len(), 2);
+                let ops = p.entries[1].len();
+                assert!((170..=182).contains(&ops), "ops {ops}");
+                assert!(p.predicted_ms <= 7.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn more_ways_never_reduces_quality() {
+        let lib = lib();
+        let q0 = query(0, ModelId::ResNet50, 100);
+        let q1 = query(1, ModelId::ResNet152, 0);
+        let model = SpanModel { ms_per_unit_span: 10.0 };
+        let ops_of = |ways| match plan_group(&[&q0, &q1], 7.0, &model, &lib, ways) {
+            SearchResult::Planned(p) => p.entries[1].len(),
+            _ => panic!(),
+        };
+        let one = ops_of(1);
+        let four = ops_of(4);
+        let sixteen = ops_of(16);
+        assert!(four >= one.saturating_sub(2), "1-way {one} 4-way {four}");
+        assert!(sixteen + 2 >= four, "4-way {four} 16-way {sixteen}");
+    }
+
+    #[test]
+    fn more_ways_fewer_rounds() {
+        let lib = lib();
+        let q0 = query(0, ModelId::ResNet50, 100);
+        let q1 = query(1, ModelId::ResNet152, 0);
+        let model = SpanModel { ms_per_unit_span: 10.0 };
+        let rounds_of = |ways| match plan_group(&[&q0, &q1], 7.0, &model, &lib, ways) {
+            SearchResult::Planned(p) => p.prediction_rounds,
+            _ => panic!(),
+        };
+        assert!(rounds_of(8) <= rounds_of(2));
+    }
+
+    #[test]
+    fn at_most_four_queries_in_group() {
+        let lib = lib();
+        let qs = [
+            query(0, ModelId::ResNet50, 0),
+            query(1, ModelId::ResNet101, 0),
+            query(2, ModelId::ResNet152, 0),
+            query(3, ModelId::Bert, 0),
+            query(4, ModelId::Vgg16, 0),
+        ];
+        let refs: Vec<&Query> = qs.iter().collect();
+        let model = SpanModel { ms_per_unit_span: 0.001 }; // everything fits
+        match plan_group(&refs, 100.0, &model, &lib, 4) {
+            SearchResult::Planned(p) => assert_eq!(p.entries.len(), MAX_COLOCATED),
+            other => panic!("{other:?}"),
+        }
+    }
+}

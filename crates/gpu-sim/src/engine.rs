@@ -1,0 +1,543 @@
+//! The event-driven co-execution engine.
+//!
+//! Each *stream* is a sequence of kernels executed in order (one stream per
+//! in-flight query, mirroring CUDA streams under MPS). Streams overlap; the
+//! engine advances every running kernel by its remaining *solo time*,
+//! divided by the current contention slowdown from
+//! [`crate::contention::co_run_slowdowns`]. Rates only
+//! change when the running set changes (a kernel finishes or a stream
+//! starts), so progress between events is integrated in closed form — the
+//! engine is exact for the contention model, with no time-stepping error.
+//!
+//! Two usage patterns:
+//!
+//! * **Exclusive operator group** ([`crate::run_group`]): all streams start
+//!   at `t = 0`, run to idle — how the segmental model executor and the
+//!   offline profiler use the GPU.
+//! * **Free overlap (MPS)**: streams are added with arbitrary start times
+//!   and [`Engine::step`] yields completions one at a time so a caller can
+//!   chain queries dynamically — how the Fig. 3 motivation experiment runs.
+
+use crate::contention::{co_run_slowdowns, RunningKernel};
+use crate::gpu::GpuSpec;
+use crate::kernel::KernelDesc;
+use crate::noise::NoiseModel;
+use workload::SeededRng;
+
+/// Identifier of a stream within one [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub usize);
+
+/// Completion record for one stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamCompletion {
+    /// Which stream finished.
+    pub id: StreamId,
+    /// When the stream was allowed to start (ms).
+    pub start_ms: f64,
+    /// When its last kernel finished (ms).
+    pub end_ms: f64,
+}
+
+/// Result of running an operator group to completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupResult {
+    /// Wall-clock duration of the whole group, ms (max end − min start).
+    pub total_ms: f64,
+    /// Per-stream completions in stream-id order.
+    pub completions: Vec<StreamCompletion>,
+}
+
+impl GroupResult {
+    /// End-to-end duration of stream `i` (end − its own start).
+    pub fn stream_ms(&self, i: usize) -> f64 {
+        let c = &self.completions[i];
+        c.end_ms - c.start_ms
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Stream {
+    kernels: Vec<KernelDesc>,
+    next: usize,
+    start_ms: f64,
+    end_ms: Option<f64>,
+    /// Remaining noisy solo-time of the current kernel, ms.
+    remaining_ms: f64,
+    /// When the current kernel started executing (trace only).
+    kernel_started_ms: f64,
+}
+
+/// One kernel's execution interval, recorded when tracing is enabled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelSpan {
+    /// Which stream the kernel belongs to.
+    pub stream: StreamId,
+    /// Index of the kernel within its stream.
+    pub kernel: usize,
+    /// Execution start, ms.
+    pub start_ms: f64,
+    /// Execution end, ms.
+    pub end_ms: f64,
+}
+
+/// The co-execution engine. See module docs.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    gpu: GpuSpec,
+    noise: NoiseModel,
+    rng: SeededRng,
+    session_factor: f64,
+    time_ms: f64,
+    streams: Vec<Stream>,
+    /// Stream indices not yet started, sorted by start time descending so
+    /// the soonest is at the back.
+    pending: Vec<usize>,
+    /// Scratch: indices of streams with a kernel in flight.
+    active: Vec<usize>,
+    /// Scratch: contention profiles, parallel to `active`.
+    profiles: Vec<RunningKernel>,
+    /// Scratch: slowdowns, parallel to `active`.
+    slowdowns: Vec<f64>,
+    events: u64,
+    /// Per-kernel execution spans; populated only when tracing is on.
+    trace: Option<Vec<KernelSpan>>,
+}
+
+impl Engine {
+    /// Create an idle engine at `t = 0`. The session noise factor is drawn
+    /// immediately, so the same seed reproduces the same run exactly.
+    pub fn new(gpu: GpuSpec, noise: NoiseModel, seed: u64) -> Self {
+        let mut rng = SeededRng::new(seed);
+        let session_factor = noise.session_factor(&mut rng);
+        Self {
+            gpu,
+            noise,
+            rng,
+            session_factor,
+            time_ms: 0.0,
+            streams: Vec::new(),
+            pending: Vec::new(),
+            active: Vec::new(),
+            profiles: Vec::new(),
+            slowdowns: Vec::new(),
+            events: 0,
+            trace: None,
+        }
+    }
+
+    /// Record every kernel's execution interval. Must be called before any
+    /// stream starts executing.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded kernel spans (empty when tracing was never enabled).
+    pub fn trace(&self) -> &[KernelSpan] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Current simulated time, ms.
+    pub fn now(&self) -> f64 {
+        self.time_ms
+    }
+
+    /// Number of kernel-level events processed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The GPU this engine simulates.
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// Add a stream of kernels that may start at `start_ms` (clamped to
+    /// now). Empty streams complete instantly at their start time.
+    pub fn add_stream(&mut self, kernels: Vec<KernelDesc>, start_ms: f64) -> StreamId {
+        let id = self.streams.len();
+        let start_ms = start_ms.max(self.time_ms);
+        self.streams.push(Stream {
+            kernels,
+            next: 0,
+            start_ms,
+            end_ms: None,
+            remaining_ms: 0.0,
+            kernel_started_ms: 0.0,
+        });
+        self.pending.push(id);
+        // Keep soonest start at the back for O(1) pop.
+        self.pending
+            .sort_by(|&a, &b| self.streams[b].start_ms.total_cmp(&self.streams[a].start_ms));
+        StreamId(id)
+    }
+
+    /// True when no stream is running or waiting to start.
+    pub fn is_idle(&self) -> bool {
+        self.active.is_empty() && self.pending.is_empty()
+    }
+
+    fn noisy_solo_ms(&mut self, k: &KernelDesc) -> f64 {
+        let kf = self.noise.kernel_factor(&mut self.rng);
+        k.solo_ms(&self.gpu) * self.session_factor * kf
+    }
+
+    /// Start pending streams whose start time has been reached.
+    fn activate_due_streams(&mut self) {
+        while let Some(&idx) = self.pending.last() {
+            if self.streams[idx].start_ms > self.time_ms + 1e-12 {
+                break;
+            }
+            self.pending.pop();
+            self.start_next_kernel(idx);
+        }
+    }
+
+    /// Begin stream `idx`'s next kernel, or retire the stream.
+    fn start_next_kernel(&mut self, idx: usize) {
+        loop {
+            let next = self.streams[idx].next;
+            if next >= self.streams[idx].kernels.len() {
+                self.streams[idx].end_ms = Some(self.time_ms);
+                return;
+            }
+            let kernel = self.streams[idx].kernels[next];
+            self.streams[idx].next = next + 1;
+            let dur = self.noisy_solo_ms(&kernel);
+            if dur <= 0.0 {
+                // Degenerate zero-cost kernel: complete instantly.
+                continue;
+            }
+            self.streams[idx].remaining_ms = dur;
+            self.streams[idx].kernel_started_ms = self.time_ms;
+            self.active.push(idx);
+            self.profiles
+                .push(RunningKernel::profile(&kernel, &self.gpu));
+            return;
+        }
+    }
+
+    fn remove_active(&mut self, pos: usize) {
+        self.active.swap_remove(pos);
+        self.profiles.swap_remove(pos);
+    }
+
+    /// Advance until the next stream completes; returns its record, or
+    /// `None` when the engine is idle.
+    pub fn step(&mut self) -> Option<StreamCompletion> {
+        loop {
+            self.activate_due_streams();
+            if self.active.is_empty() {
+                // Jump to the next pending start, if any.
+                let &idx = self.pending.last()?;
+                self.time_ms = self.streams[idx].start_ms;
+                continue;
+            }
+            co_run_slowdowns(&self.profiles, &mut self.slowdowns);
+            // Time until the first kernel in flight completes.
+            let mut dt = f64::INFINITY;
+            for (pos, &idx) in self.active.iter().enumerate() {
+                let t = self.streams[idx].remaining_ms * self.slowdowns[pos];
+                if t < dt {
+                    dt = t;
+                }
+            }
+            // A pending start may preempt the completion horizon.
+            if let Some(&idx) = self.pending.last() {
+                let until_start = self.streams[idx].start_ms - self.time_ms;
+                if until_start < dt {
+                    // Advance everyone to the start instant, then loop to
+                    // activate and re-derive rates.
+                    self.advance(until_start);
+                    continue;
+                }
+            }
+            self.advance(dt);
+            // Retire all kernels that just finished (ties possible).
+            let mut completed_stream = None;
+            let mut pos = 0;
+            while pos < self.active.len() {
+                let idx = self.active[pos];
+                if self.streams[idx].remaining_ms <= 1e-9 {
+                    self.remove_active(pos);
+                    self.events += 1;
+                    if let Some(trace) = &mut self.trace {
+                        trace.push(KernelSpan {
+                            stream: StreamId(idx),
+                            kernel: self.streams[idx].next - 1,
+                            start_ms: self.streams[idx].kernel_started_ms,
+                            end_ms: self.time_ms,
+                        });
+                    }
+                    self.start_next_kernel(idx);
+                    if self.streams[idx].end_ms.is_some() && completed_stream.is_none() {
+                        completed_stream = Some(idx);
+                    }
+                    // swap_remove reordered; restart scan from same pos.
+                } else {
+                    pos += 1;
+                }
+            }
+            if let Some(idx) = completed_stream {
+                let s = &self.streams[idx];
+                return Some(StreamCompletion {
+                    id: StreamId(idx),
+                    start_ms: s.start_ms,
+                    end_ms: s.end_ms.unwrap(),
+                });
+            }
+        }
+    }
+
+    /// Move simulated time forward by `dt` ms, draining each running
+    /// kernel's remaining solo time at its current rate.
+    fn advance(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0);
+        if dt == 0.0 {
+            return;
+        }
+        self.time_ms += dt;
+        for (pos, &idx) in self.active.iter().enumerate() {
+            let s = self.slowdowns[pos];
+            self.streams[idx].remaining_ms -= dt / s;
+            if self.streams[idx].remaining_ms < 0.0 {
+                self.streams[idx].remaining_ms = 0.0;
+            }
+        }
+    }
+
+    /// Run every stream to completion.
+    pub fn run_until_idle(&mut self) {
+        while self.step().is_some() {}
+    }
+
+    /// Completions of all finished streams, in stream-id order.
+    pub fn completions(&self) -> Vec<StreamCompletion> {
+        self.streams
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                s.end_ms.map(|end| StreamCompletion {
+                    id: StreamId(i),
+                    start_ms: s.start_ms,
+                    end_ms: end,
+                })
+            })
+            .collect()
+    }
+
+    /// Summarise a finished run as a [`GroupResult`].
+    ///
+    /// # Panics
+    /// Panics if any stream has not completed yet.
+    pub fn group_result(&self) -> GroupResult {
+        let completions = self.completions();
+        assert_eq!(
+            completions.len(),
+            self.streams.len(),
+            "group_result requires all streams to have completed"
+        );
+        let min_start = completions
+            .iter()
+            .map(|c| c.start_ms)
+            .fold(f64::INFINITY, f64::min);
+        let max_end = completions.iter().map(|c| c.end_ms).fold(0.0, f64::max);
+        GroupResult {
+            total_ms: if completions.is_empty() {
+                0.0
+            } else {
+                max_end - min_start
+            },
+            completions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::sequence_solo_ms;
+
+    fn gpu() -> GpuSpec {
+        GpuSpec::a100()
+    }
+
+    fn small_kernel() -> KernelDesc {
+        // ~20% of block slots (~45% achieved compute), compute-bound.
+        KernelDesc::new(2e9, 1e7, 0.2 * gpu().block_slots())
+    }
+
+    fn big_kernel() -> KernelDesc {
+        // Saturating, compute-bound.
+        KernelDesc::new(2e10, 1e7, 4.0 * gpu().block_slots())
+    }
+
+    #[test]
+    fn solo_stream_matches_analytic_sum() {
+        let ks = vec![small_kernel(); 10];
+        let expected = sequence_solo_ms(&ks, &gpu());
+        let r = crate::run_group(&gpu(), &NoiseModel::disabled(), 0, &[ks]);
+        assert!((r.total_ms - expected).abs() < 1e-6, "{} vs {expected}", r.total_ms);
+    }
+
+    #[test]
+    fn under_occupied_overlap_is_nearly_free() {
+        let ks = vec![small_kernel(); 10];
+        let solo = sequence_solo_ms(&ks, &gpu());
+        let r = crate::run_group(
+            &gpu(),
+            &NoiseModel::disabled(),
+            0,
+            &[ks.clone(), ks.clone()],
+        );
+        // Two 30%-occupancy streams together: total stays close to solo.
+        assert!(r.total_ms < 1.10 * solo, "{} vs {solo}", r.total_ms);
+        assert!(r.total_ms >= solo - 1e-9);
+    }
+
+    #[test]
+    fn saturating_overlap_time_shares() {
+        let ks = vec![big_kernel(); 6];
+        let solo = sequence_solo_ms(&ks, &gpu());
+        let r = crate::run_group(
+            &gpu(),
+            &NoiseModel::disabled(),
+            0,
+            &[ks.clone(), ks.clone()],
+        );
+        // Two saturating streams: ~2x solo.
+        assert!((r.total_ms / solo - 2.0).abs() < 0.1, "{} vs {solo}", r.total_ms);
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let streams = vec![vec![small_kernel(); 8], vec![big_kernel(); 3]];
+        let a = crate::run_group(&gpu(), &NoiseModel::calibrated(), 7, &streams);
+        let b = crate::run_group(&gpu(), &NoiseModel::calibrated(), 7, &streams);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_across_seeds_is_small_and_centred() {
+        let streams = vec![vec![small_kernel(); 8], vec![big_kernel(); 3]];
+        let base = crate::run_group(&gpu(), &NoiseModel::disabled(), 0, &streams).total_ms;
+        let samples: Vec<f64> = (0..200)
+            .map(|s| crate::run_group(&gpu(), &NoiseModel::calibrated(), s, &streams).total_ms)
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let std = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64)
+            .sqrt();
+        let cv = std / mean;
+        assert!((mean / base - 1.0).abs() < 0.02, "mean {mean} base {base}");
+        assert!(cv > 0.02 && cv < 0.06, "cv {cv}");
+    }
+
+    #[test]
+    fn delayed_stream_starts_on_time() {
+        let mut e = Engine::new(gpu(), NoiseModel::disabled(), 0);
+        e.add_stream(vec![small_kernel(); 2], 5.0);
+        let c = e.step().unwrap();
+        assert!((c.start_ms - 5.0).abs() < 1e-12);
+        assert!(c.end_ms > 5.0);
+    }
+
+    #[test]
+    fn step_yields_completions_in_time_order() {
+        let mut e = Engine::new(gpu(), NoiseModel::disabled(), 0);
+        e.add_stream(vec![small_kernel(); 2], 0.0);
+        e.add_stream(vec![small_kernel(); 20], 0.0);
+        e.add_stream(vec![small_kernel(); 6], 1.0);
+        let mut ends = Vec::new();
+        while let Some(c) = e.step() {
+            ends.push(c.end_ms);
+        }
+        assert_eq!(ends.len(), 3);
+        for w in ends.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9);
+        }
+        assert!(e.is_idle());
+    }
+
+    #[test]
+    fn empty_stream_completes_at_start() {
+        let mut e = Engine::new(gpu(), NoiseModel::disabled(), 0);
+        e.add_stream(vec![], 3.0);
+        e.add_stream(vec![small_kernel()], 0.0);
+        e.run_until_idle();
+        let r = e.group_result();
+        let empty = r.completions.iter().find(|c| c.id == StreamId(0)).unwrap();
+        assert_eq!(empty.start_ms, 3.0);
+        assert_eq!(empty.end_ms, 3.0);
+    }
+
+    #[test]
+    fn mid_run_arrival_slows_running_stream() {
+        // Stream A alone vs stream A with B arriving halfway.
+        let a = vec![big_kernel(); 4];
+        let solo = crate::run_group(&gpu(), &NoiseModel::disabled(), 0, &[a.clone()]).total_ms;
+        let mut e = Engine::new(gpu(), NoiseModel::disabled(), 0);
+        e.add_stream(a.clone(), 0.0);
+        e.add_stream(vec![big_kernel(); 4], solo / 2.0);
+        e.run_until_idle();
+        let r = e.group_result();
+        let a_end = r.completions[0].end_ms;
+        assert!(a_end > solo * 1.2, "a_end {a_end} solo {solo}");
+    }
+
+    #[test]
+    fn group_latency_bounded_by_sequential() {
+        // Overlap can never be slower than running the streams back-to-back
+        // (plus the small interference margin).
+        let s1 = vec![small_kernel(); 12];
+        let s2 = vec![big_kernel(); 4];
+        let seq = sequence_solo_ms(&s1, &gpu()) + sequence_solo_ms(&s2, &gpu());
+        let r = crate::run_group(&gpu(), &NoiseModel::disabled(), 0, &[s1, s2]);
+        assert!(r.total_ms <= seq * 1.15, "{} vs seq {seq}", r.total_ms);
+    }
+
+    #[test]
+    fn trace_records_every_kernel_interval() {
+        let mut e = Engine::new(gpu(), NoiseModel::disabled(), 0);
+        e.enable_trace();
+        e.add_stream(vec![small_kernel(); 5], 0.0);
+        e.add_stream(vec![big_kernel(); 3], 0.1);
+        e.run_until_idle();
+        let trace = e.trace();
+        assert_eq!(trace.len(), 8);
+        // Per stream: intervals are contiguous and ordered.
+        for sid in 0..2 {
+            let spans: Vec<_> = trace.iter().filter(|s| s.stream == StreamId(sid)).collect();
+            for w in spans.windows(2) {
+                assert!(w[0].end_ms <= w[1].start_ms + 1e-9);
+                assert_eq!(w[0].kernel + 1, w[1].kernel);
+            }
+            for s in &spans {
+                assert!(s.end_ms > s.start_ms);
+            }
+        }
+        // Cross-stream overlap actually happened (the whole point).
+        let a_last = trace.iter().filter(|s| s.stream == StreamId(0)).map(|s| s.end_ms).fold(0.0, f64::max);
+        let b_first = trace.iter().filter(|s| s.stream == StreamId(1)).map(|s| s.start_ms).fold(f64::INFINITY, f64::min);
+        assert!(b_first < a_last, "streams never overlapped");
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let mut e = Engine::new(gpu(), NoiseModel::disabled(), 0);
+        e.add_stream(vec![small_kernel()], 0.0);
+        e.run_until_idle();
+        assert!(e.trace().is_empty());
+    }
+
+    #[test]
+    fn stream_ms_accounts_own_start() {
+        let mut e = Engine::new(gpu(), NoiseModel::disabled(), 0);
+        e.add_stream(vec![small_kernel(); 2], 10.0);
+        e.run_until_idle();
+        let r = e.group_result();
+        let dur = r.stream_ms(0);
+        let solo = sequence_solo_ms(&vec![small_kernel(); 2], &gpu());
+        assert!((dur - solo).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,174 @@
+//! GPU hardware specifications.
+//!
+//! Calibration targets the paper's testbed (Table 2: Nvidia A100) so that
+//! solo latencies land where §3.2 reports them — ResNet-152 at batch 32
+//! computes ≈ 24 ms — and the cluster experiment's V100 nodes (§7.6) run at
+//! roughly 60% of A100 throughput. Peak numbers are *effective sustained*
+//! rates (device peak × achievable efficiency), not datasheet peaks.
+
+/// Static description of a GPU (or a MIG slice of one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Human-readable name, e.g. `"A100"` or `"A100 MIG 2g.10gb"`.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Thread blocks per SM needed to reach full throughput (the occupancy
+    /// knee): a kernel with fewer than `sm_count × blocks_per_sm` blocks
+    /// cannot keep the machine busy and runs proportionally slower.
+    pub blocks_per_sm: u32,
+    /// Effective sustained compute throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// Effective sustained global-memory bandwidth in bytes/s.
+    pub peak_bw: f64,
+    /// Global-memory capacity in bytes (bounds how many model replicas a
+    /// deployment can hold resident).
+    pub memory_bytes: f64,
+}
+
+/// The three MIG instance profiles of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigProfile {
+    /// `MIG 1g.5gb`: 1/7 of the SMs, 1/8 of the memory system.
+    OneG5Gb,
+    /// `MIG 2g.10gb`: 2/7 of the SMs, 1/4 of the memory system.
+    TwoG10Gb,
+    /// `MIG 4g.20gb`: 4/7 of the SMs, 1/2 of the memory system.
+    FourG20Gb,
+}
+
+impl MigProfile {
+    /// Fraction of SMs granted to the instance.
+    pub fn sm_fraction(self) -> f64 {
+        match self {
+            MigProfile::OneG5Gb => 1.0 / 7.0,
+            MigProfile::TwoG10Gb => 2.0 / 7.0,
+            MigProfile::FourG20Gb => 4.0 / 7.0,
+        }
+    }
+
+    /// Fraction of memory bandwidth granted to the instance.
+    pub fn bw_fraction(self) -> f64 {
+        match self {
+            MigProfile::OneG5Gb => 1.0 / 8.0,
+            MigProfile::TwoG10Gb => 1.0 / 4.0,
+            MigProfile::FourG20Gb => 1.0 / 2.0,
+        }
+    }
+
+    /// Table-3 profile name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MigProfile::OneG5Gb => "MIG 1g.5gb",
+            MigProfile::TwoG10Gb => "MIG 2g.10gb",
+            MigProfile::FourG20Gb => "MIG 4g.20gb",
+        }
+    }
+
+    /// How many instances of this profile fit on one A100.
+    pub fn instances_per_gpu(self) -> u32 {
+        match self {
+            MigProfile::OneG5Gb => 7,
+            MigProfile::TwoG10Gb => 3,
+            MigProfile::FourG20Gb => 1,
+        }
+    }
+}
+
+impl GpuSpec {
+    /// Effective A100 (128 SMs, as in Table 2).
+    ///
+    /// `peak_flops` is calibrated so ResNet-152 at batch 32 (≈ 370 GFLOPs
+    /// plus per-operator launch overheads) lands at the ≈ 24 ms solo latency
+    /// §3.2 reports.
+    pub fn a100() -> Self {
+        Self {
+            name: "A100".to_string(),
+            sm_count: 128,
+            blocks_per_sm: 4,
+            peak_flops: 62.0e12,
+            peak_bw: 1.4e12,
+            memory_bytes: 40.0e9,
+        }
+    }
+
+    /// Effective V100 (80 SMs), used by the cluster experiment (§7.6).
+    pub fn v100() -> Self {
+        Self {
+            name: "V100".to_string(),
+            sm_count: 80,
+            blocks_per_sm: 4,
+            peak_flops: 35.0e12,
+            peak_bw: 0.8e12,
+            memory_bytes: 16.0e9,
+        }
+    }
+
+    /// Derive a MIG instance of this GPU (Table 3 semantics: isolated SMs
+    /// and an isolated slice of the memory system).
+    pub fn mig_slice(&self, profile: MigProfile) -> GpuSpec {
+        let sm_frac = profile.sm_fraction();
+        GpuSpec {
+            name: format!("{} {}", self.name, profile.name()),
+            sm_count: ((self.sm_count as f64 * sm_frac).round() as u32).max(1),
+            blocks_per_sm: self.blocks_per_sm,
+            peak_flops: self.peak_flops * sm_frac,
+            peak_bw: self.peak_bw * profile.bw_fraction(),
+            memory_bytes: self.memory_bytes * profile.bw_fraction(),
+        }
+    }
+
+    /// Total concurrently-resident thread-block slots — the denominator of
+    /// kernel occupancy.
+    pub fn block_slots(&self) -> f64 {
+        f64::from(self.sm_count) * f64::from(self.blocks_per_sm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_shape() {
+        let g = GpuSpec::a100();
+        assert_eq!(g.sm_count, 128);
+        assert_eq!(g.block_slots(), 128.0 * 4.0);
+    }
+
+    #[test]
+    fn v100_is_slower_than_a100() {
+        assert!(GpuSpec::v100().peak_flops < GpuSpec::a100().peak_flops);
+        assert!(GpuSpec::v100().peak_bw < GpuSpec::a100().peak_bw);
+    }
+
+    #[test]
+    fn mig_slices_scale_resources() {
+        let a100 = GpuSpec::a100();
+        let half = a100.mig_slice(MigProfile::FourG20Gb);
+        assert!((half.peak_flops / a100.peak_flops - 4.0 / 7.0).abs() < 1e-9);
+        assert!((half.peak_bw / a100.peak_bw - 0.5).abs() < 1e-9);
+        assert_eq!(half.sm_count, 73); // round(128 * 4/7)
+        let small = a100.mig_slice(MigProfile::OneG5Gb);
+        assert_eq!(small.sm_count, 18);
+        assert!(small.name.contains("1g.5gb"));
+    }
+
+    #[test]
+    fn memory_capacity_scales_with_slice() {
+        let a100 = GpuSpec::a100();
+        assert_eq!(a100.memory_bytes, 40.0e9);
+        // Table 3's names: 1g.5gb, 2g.10gb, 4g.20gb.
+        let gb = |p: MigProfile| a100.mig_slice(p).memory_bytes / 1e9;
+        assert!((gb(MigProfile::OneG5Gb) - 5.0).abs() < 1e-9);
+        assert!((gb(MigProfile::TwoG10Gb) - 10.0).abs() < 1e-9);
+        assert!((gb(MigProfile::FourG20Gb) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mig_profiles_table3() {
+        assert_eq!(MigProfile::OneG5Gb.instances_per_gpu(), 7);
+        assert!((MigProfile::TwoG10Gb.sm_fraction() - 2.0 / 7.0).abs() < 1e-12);
+        assert!((MigProfile::TwoG10Gb.bw_fraction() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,3 @@
+//! Integration test host crate. Test sources live in the repo-root `tests/`
+//! directory and are wired in via `[[test]]` entries in this crate's
+//! manifest so they can span every workspace crate.

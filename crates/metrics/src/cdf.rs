@@ -1,0 +1,112 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Figs. 3 and 7 of the paper plot latency CDFs. [`Cdf`] stores the sorted
+//! sample and answers both directions: `fraction_below(x)` and
+//! `value_at(q)`.
+
+use crate::stats::percentile_sorted;
+
+/// An empirical CDF over a sample of `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build a CDF from a sample (copied and sorted).
+    pub fn new(samples: &[f64]) -> Self {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Self { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `<= x`, in `[0, 1]`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (linear interpolation).
+    pub fn value_at(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        percentile_sorted(&self.sorted, q * 100.0)
+    }
+
+    /// Sample `points` evenly-spaced (value, fraction) pairs suitable for
+    /// plotting: fractions `1/points, 2/points, …, 1`.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points > 0);
+        if self.sorted.is_empty() {
+            return Vec::new();
+        }
+        (1..=points)
+            .map(|i| {
+                let q = i as f64 / points as f64;
+                (self.value_at(q), q)
+            })
+            .collect()
+    }
+
+    /// The underlying sorted sample.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_below_is_monotone() {
+        let cdf = Cdf::new(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(cdf.fraction_below(0.0), 0.0);
+        assert_eq!(cdf.fraction_below(1.0), 0.2);
+        assert_eq!(cdf.fraction_below(3.0), 0.6);
+        assert_eq!(cdf.fraction_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn value_at_inverts_fraction() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let cdf = Cdf::new(&xs);
+        let v = cdf.value_at(0.5);
+        assert!((v - 50.5).abs() < 1.0, "median {v}");
+        assert_eq!(cdf.value_at(1.0), 100.0);
+        assert_eq!(cdf.value_at(0.0), 1.0);
+    }
+
+    #[test]
+    fn curve_has_requested_points_and_is_monotone() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sqrt()).collect();
+        let cdf = Cdf::new(&xs);
+        let curve = cdf.curve(20);
+        assert_eq!(curve.len(), 20);
+        for w in curve.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let cdf = Cdf::new(&[]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_below(1.0), 0.0);
+        assert!(cdf.curve(10).is_empty());
+    }
+}

@@ -1,0 +1,20 @@
+//! Measurement and reporting utilities for the Abacus reproduction.
+//!
+//! Every experiment in the paper reports one of three quantities: a latency
+//! percentile (Figs. 14, 16, 18, 20, 22), a QoS-violation ratio (Fig. 15),
+//! or a goodput (Figs. 17, 19, 21, 22). This crate provides the shared
+//! machinery: descriptive statistics and percentile estimation
+//! ([`stats`]), empirical CDFs ([`cdf`]), per-service QoS accounting
+//! ([`recorder`]), and ASCII-table / CSV output ([`table`], [`csv`]).
+
+pub mod cdf;
+pub mod csv;
+pub mod recorder;
+pub mod stats;
+pub mod table;
+
+pub use cdf::Cdf;
+pub use csv::CsvWriter;
+pub use recorder::{QueryOutcome, QueryRecord, ServiceStats};
+pub use stats::{mean, percentile, std_dev, Summary};
+pub use table::Table;

@@ -1,0 +1,221 @@
+//! Data-flow graphs of instantiated models.
+//!
+//! As Fig. 1 of the paper shows, a DNN query is processed by executing the
+//! operators of a data-flow graph sequentially in a topological order.
+//! [`ModelGraph`] stores the operators *already in execution order* together
+//! with the DFG edges; [`ModelGraph::validate_topological`] checks the
+//! invariant (every edge points forward), and [`GraphBuilder`] makes the
+//! model builders readable.
+
+use crate::op::{OpKind, Operator};
+use gpu_sim::{GpuSpec, KernelDesc};
+
+/// An instantiated model: operators in topological (execution) order plus
+/// data-flow edges between them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelGraph {
+    /// Model name, e.g. `"resnet152"`.
+    pub name: String,
+    /// Operators in execution order.
+    pub ops: Vec<Operator>,
+    /// DFG edges `(producer, consumer)`, indices into `ops`.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl ModelGraph {
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the graph has no operators.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Lower every operator to a kernel, in execution order.
+    pub fn kernels(&self) -> Vec<KernelDesc> {
+        self.ops.iter().map(Operator::kernel).collect()
+    }
+
+    /// Lower the operator range `[start, end)` (a query segment).
+    pub fn kernels_range(&self, start: usize, end: usize) -> Vec<KernelDesc> {
+        assert!(start <= end && end <= self.ops.len(), "invalid range");
+        self.ops[start..end].iter().map(Operator::kernel).collect()
+    }
+
+    /// Total FLOPs of the model for this instantiation.
+    pub fn total_flops(&self) -> f64 {
+        self.ops.iter().map(|o| o.flops).sum()
+    }
+
+    /// Resident parameter bytes (independent of batch size).
+    pub fn weight_bytes(&self) -> f64 {
+        self.ops.iter().map(|o| o.weight_bytes).sum()
+    }
+
+    /// Total solo execution time on `gpu`, ms.
+    pub fn solo_ms(&self, gpu: &GpuSpec) -> f64 {
+        self.ops.iter().map(|o| o.kernel().solo_ms(gpu)).sum()
+    }
+
+    /// Solo execution time of the range `[start, end)` on `gpu`, ms.
+    pub fn solo_ms_range(&self, gpu: &GpuSpec, start: usize, end: usize) -> f64 {
+        assert!(start <= end && end <= self.ops.len(), "invalid range");
+        self.ops[start..end]
+            .iter()
+            .map(|o| o.kernel().solo_ms(gpu))
+            .sum()
+    }
+
+    /// Count operators of a given kind.
+    pub fn count_kind(&self, kind: OpKind) -> usize {
+        self.ops.iter().filter(|o| o.kind == kind).count()
+    }
+
+    /// Check that the stored order is a valid topological order of the DFG
+    /// (every edge goes from a lower to a higher index) and that edges are
+    /// in bounds.
+    pub fn validate_topological(&self) -> Result<(), String> {
+        for &(src, dst) in &self.edges {
+            if src >= self.ops.len() || dst >= self.ops.len() {
+                return Err(format!("edge ({src},{dst}) out of bounds"));
+            }
+            if src >= dst {
+                return Err(format!(
+                    "edge ({src},{dst}) violates topological order in {}",
+                    self.name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder used by the model constructors.
+///
+/// Tracks the index of the last appended operator so chains can be wired
+/// without manual index bookkeeping.
+#[derive(Debug)]
+pub struct GraphBuilder {
+    name: String,
+    ops: Vec<Operator>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    /// Start building a model called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ops: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Append `op` consuming the outputs of `inputs` (indices of earlier
+    /// ops). Returns the new op's index.
+    pub fn push(&mut self, op: Operator, inputs: &[usize]) -> usize {
+        let idx = self.ops.len();
+        for &src in inputs {
+            assert!(src < idx, "input {src} must precede op {idx}");
+            self.edges.push((src, idx));
+        }
+        self.ops.push(op);
+        idx
+    }
+
+    /// Append `op` consuming the most recently appended op (linear chain).
+    /// For the first op, no edge is added.
+    pub fn chain(&mut self, op: Operator) -> usize {
+        let prev = self.ops.len().checked_sub(1);
+        match prev {
+            Some(p) => self.push(op, &[p]),
+            None => self.push(op, &[]),
+        }
+    }
+
+    /// Index of the most recently appended operator.
+    ///
+    /// # Panics
+    /// Panics when the graph is still empty.
+    pub fn last(&self) -> usize {
+        assert!(!self.ops.is_empty(), "no ops appended yet");
+        self.ops.len() - 1
+    }
+
+    /// Finish and validate.
+    pub fn build(self) -> ModelGraph {
+        let g = ModelGraph {
+            name: self.name,
+            ops: self.ops,
+            edges: self.edges,
+        };
+        debug_assert!(g.validate_topological().is_ok());
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Operator;
+
+    fn tiny() -> ModelGraph {
+        let mut b = GraphBuilder::new("tiny");
+        let c = b.chain(Operator::conv2d("conv", 1.0, 3.0, 8.0, 8.0, 3.0));
+        let r = b.push(Operator::activation("relu", 512.0), &[c]);
+        let c2 = b.push(Operator::conv2d("conv2", 1.0, 8.0, 8.0, 8.0, 3.0), &[r]);
+        b.push(Operator::add("add", 512.0), &[r, c2]);
+        b.build()
+    }
+
+    #[test]
+    fn builder_wires_edges() {
+        let g = tiny();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edges, vec![(0, 1), (1, 2), (1, 3), (2, 3)]);
+        assert!(g.validate_topological().is_ok());
+    }
+
+    #[test]
+    fn kernels_match_ops() {
+        let g = tiny();
+        assert_eq!(g.kernels().len(), 4);
+        assert_eq!(g.kernels_range(1, 3).len(), 2);
+        assert!(g.kernels_range(2, 2).is_empty());
+    }
+
+    #[test]
+    fn solo_range_decomposes() {
+        let g = tiny();
+        let gpu = GpuSpec::a100();
+        let total = g.solo_ms(&gpu);
+        let split = g.solo_ms_range(&gpu, 0, 2) + g.solo_ms_range(&gpu, 2, 4);
+        assert!((total - split).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_topology_detected() {
+        let mut g = tiny();
+        g.edges.push((3, 1));
+        assert!(g.validate_topological().is_err());
+        g.edges.pop();
+        g.edges.push((0, 99));
+        assert!(g.validate_topological().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "must precede")]
+    fn push_rejects_forward_inputs() {
+        let mut b = GraphBuilder::new("bad");
+        b.push(Operator::activation("a", 1.0), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn range_bounds_checked() {
+        let g = tiny();
+        let _ = g.kernels_range(2, 99);
+    }
+}

@@ -1,0 +1,29 @@
+//! Operator-level DNN model zoo for the Abacus reproduction.
+//!
+//! Implements the seven models of the paper's Table 1 — ResNet-50/101/152,
+//! Inception-V3, VGG-16/19, and BERT-base — as data-flow graphs of
+//! [`Operator`]s with analytic FLOP / byte / parallelism counts, instantiated
+//! for concrete (batch size, sequence length) inputs and lowered 1:1 to
+//! `gpu-sim` kernels.
+//!
+//! The zoo reproduces the *structural* properties the paper's evaluation
+//! leans on: ResNet/Inception are long chains of small, under-occupying
+//! kernels (overlap-friendly); VGG is a short chain of saturating kernels
+//! (overlap-hostile, §7.3); BERT's cost is sequence-length sensitive
+//! (§3.3, Fig. 8). Solo latencies are calibrated to the A100 numbers the
+//! paper reports (ResNet-152 bs32 ≈ 24 ms, QoS targets 50–150 ms at 2×).
+
+pub mod bert;
+pub mod fuse;
+pub mod graph;
+pub mod inception;
+pub mod lstm;
+pub mod op;
+pub mod resnet;
+pub mod vgg;
+pub mod zoo;
+
+pub use fuse::fuse_elementwise;
+pub use graph::{GraphBuilder, ModelGraph};
+pub use op::{OpKind, Operator};
+pub use zoo::{ModelId, ModelLibrary, QueryInput, BATCH_CHOICES, MODEL_COUNT, SEQ_CHOICES};

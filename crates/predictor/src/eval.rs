@@ -1,0 +1,74 @@
+//! Prediction-error metrics: MAPE (Eq. 1) and k-fold cross-validation.
+
+use crate::dataset::Dataset;
+use crate::LatencyModel;
+use workload::SeededRng;
+
+/// Mean absolute percentage error of `model` on `data` (the paper's Eq. 1).
+pub fn mape<M: LatencyModel + ?Sized>(model: &M, data: &Dataset) -> f64 {
+    assert!(!data.is_empty(), "cannot evaluate on an empty dataset");
+    let mut acc = 0.0;
+    for (x, &y) in data.x.iter().zip(&data.y) {
+        let p = model.predict_one(x);
+        acc += (p - y).abs() / y.abs().max(1e-9);
+    }
+    acc / data.len() as f64
+}
+
+/// K-fold cross-validation: train with `fit` on each fold's training split
+/// and return the mean test MAPE (the "Cross Validation" bar of Fig. 10).
+pub fn kfold_mape<M, F>(data: &Dataset, k: usize, seed: u64, fit: F) -> f64
+where
+    M: LatencyModel,
+    F: Fn(&Dataset) -> M + Sync,
+{
+    let mut rng = SeededRng::new(seed);
+    let folds = data.kfold(k, &mut rng);
+    let total: f64 = folds
+        .iter()
+        .map(|(train, test)| mape(&fit(train), test))
+        .sum();
+    total / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A constant predictor for testing the metric itself.
+    struct Constant(f64);
+    impl LatencyModel for Constant {
+        fn predict_one(&self, _x: &[f64]) -> f64 {
+            self.0
+        }
+        fn name(&self) -> &'static str {
+            "const"
+        }
+    }
+
+    #[test]
+    fn mape_of_perfect_predictor_is_zero() {
+        let mut d = Dataset::new();
+        d.push(vec![0.0], 5.0);
+        d.push(vec![0.0], 5.0);
+        assert_eq!(mape(&Constant(5.0), &d), 0.0);
+    }
+
+    #[test]
+    fn mape_scales_with_error() {
+        let mut d = Dataset::new();
+        d.push(vec![0.0], 10.0);
+        // Predicting 12 on a target of 10 = 20% error.
+        assert!((mape(&Constant(12.0), &d) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kfold_runs_all_folds() {
+        let mut d = Dataset::new();
+        for i in 0..30 {
+            d.push(vec![i as f64], 10.0);
+        }
+        let err = kfold_mape(&d, 5, 1, |_train| Constant(11.0));
+        assert!((err - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,107 @@
+//! Overlap-aware latency prediction (§5 of the paper).
+//!
+//! Pipeline: [`sampling`] draws operator groups the scheduler can actually
+//! produce (Fig. 9); [`profiler`] measures them on the GPU simulator
+//! (§5.2's 42 000 × 100 campaign); [`features`] encodes them as Fig. 8
+//! vectors; and three predictors train on the result — the paper's winning
+//! 3×32 [`mlp::Mlp`] plus the [`linreg`] and [`svr`] baselines it is
+//! compared against in Fig. 10. [`eval`] computes Eq. 1's MAPE and the
+//! cross-validation bar; [`persist`] freezes the trained model to disk
+//! (§7.8's ≈ 14 kB artifact).
+//!
+//! All predictors implement [`LatencyModel`], the interface the scheduler's
+//! multi-way search consumes (batched prediction maps directly onto the
+//! paper's "feed the duration model with batched input features").
+//! [`affinity`] adds §7.8's deployment planning: overlap-hostile pairs are
+//! detected from the profiling data and never deployed together.
+
+pub mod affinity;
+pub mod dataset;
+pub mod eval;
+pub mod features;
+pub mod linreg;
+pub mod mlp;
+pub mod persist;
+pub mod profiler;
+pub mod sampling;
+pub mod svr;
+
+pub use affinity::{
+    overlap_affinity, peak_affinity, plan_service_groups, PairAffinity, NO_OVERLAP_GAIN,
+};
+pub use dataset::Dataset;
+pub use features::{GroupEntry, GroupSpec, FEATURE_DIM, MAX_COLOCATED, MODEL_SLOT_BASE};
+pub use linreg::LinearRegression;
+pub use mlp::{Mlp, MlpConfig};
+pub use profiler::{profile_group, profile_groups, ProfiledGroup};
+pub use sampling::{all_pairs, paper_multiway_sets, sample_group, sample_groups};
+pub use svr::{LinearSvr, SvrConfig};
+
+/// A trained duration model for operator groups.
+pub trait LatencyModel: Send + Sync {
+    /// Predict the group latency (ms) for one Fig. 8 feature vector.
+    fn predict_one(&self, x: &[f64]) -> f64;
+
+    /// Predict a batch of candidates at once — the multi-way search path.
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict_one(x)).collect()
+    }
+
+    /// Display name for figures.
+    fn name(&self) -> &'static str;
+}
+
+/// An oracle predictor that queries the GPU simulator's noise-free latency
+/// directly. Not available in a real deployment (it *is* the hardware) —
+/// used in tests and as an upper bound in the ablation benches.
+pub struct OracleModel {
+    lib: std::sync::Arc<dnn_models::ModelLibrary>,
+    gpu: gpu_sim::GpuSpec,
+}
+
+impl OracleModel {
+    /// Create an oracle for `gpu`.
+    pub fn new(lib: std::sync::Arc<dnn_models::ModelLibrary>, gpu: gpu_sim::GpuSpec) -> Self {
+        Self { lib, gpu }
+    }
+
+    /// Exact (noise-free) group latency.
+    pub fn measure(&self, spec: &GroupSpec) -> f64 {
+        gpu_sim::run_group(
+            &self.gpu,
+            &gpu_sim::NoiseModel::disabled(),
+            0,
+            &spec.streams(&self.lib),
+        )
+        .total_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Doubler;
+    impl LatencyModel for Doubler {
+        fn predict_one(&self, x: &[f64]) -> f64 {
+            2.0 * x[0]
+        }
+        fn name(&self) -> &'static str {
+            "doubler"
+        }
+    }
+
+    #[test]
+    fn default_batch_maps_one_by_one() {
+        let xs = vec![vec![1.0], vec![3.0]];
+        assert_eq!(Doubler.predict_batch(&xs), vec![2.0, 6.0]);
+    }
+
+    #[test]
+    fn oracle_measures_groups() {
+        let lib = std::sync::Arc::new(dnn_models::ModelLibrary::new());
+        let oracle = OracleModel::new(lib.clone(), gpu_sim::GpuSpec::a100());
+        let g = sample_groups(&[dnn_models::ModelId::ResNet50], 1, &lib, 1);
+        assert!(oracle.measure(&g[0]) > 0.0);
+    }
+}

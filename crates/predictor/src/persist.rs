@@ -1,0 +1,127 @@
+//! Saving and loading trained MLP duration models.
+//!
+//! A serving node trains offline (§5.4: ~42 hours of profiling on the real
+//! system) and loads the frozen model at start-up; §7.8 reports the model
+//! occupies ≈ 14 kB. The format is a tiny self-describing text file —
+//! header lines with dimensions and target scaling, then one parameter per
+//! line — so the artifact is inspectable and diffable.
+
+use crate::mlp::Mlp;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Magic first line of the format.
+const MAGIC: &str = "abacus-mlp-v1";
+
+/// Serialise an MLP to a string.
+pub fn to_string(mlp: &Mlp) -> String {
+    let (y_mean, y_std) = mlp.target_scaling();
+    let dims = mlp.dims();
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push('\n');
+    out.push_str(&dims.iter().map(ToString::to_string).collect::<Vec<_>>().join(" "));
+    out.push('\n');
+    out.push_str(&format!("{y_mean:e} {y_std:e}\n"));
+    for p in mlp.raw_params() {
+        out.push_str(&format!("{p:e}\n"));
+    }
+    out
+}
+
+/// Parse an MLP from the [`to_string`] format.
+pub fn from_str(s: &str) -> Result<Mlp, String> {
+    let mut lines = s.lines();
+    match lines.next() {
+        Some(l) if l == MAGIC => {}
+        other => return Err(format!("bad magic: {other:?}")),
+    }
+    let dims: Vec<usize> = lines
+        .next()
+        .ok_or("missing dims line")?
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|e| format!("bad dim: {e}")))
+        .collect::<Result<_, String>>()?;
+    let scale_line = lines.next().ok_or("missing scaling line")?;
+    let mut it = scale_line.split_whitespace();
+    let y_mean: f64 = it
+        .next()
+        .ok_or("missing y_mean")?
+        .parse()
+        .map_err(|e| format!("bad y_mean: {e}"))?;
+    let y_std: f64 = it
+        .next()
+        .ok_or("missing y_std")?
+        .parse()
+        .map_err(|e| format!("bad y_std: {e}"))?;
+    let params: Vec<f64> = lines
+        .map(|l| l.trim().parse().map_err(|e| format!("bad param: {e}")))
+        .collect::<Result<_, String>>()?;
+    Mlp::from_raw(&dims, &params, y_mean, y_std)
+}
+
+/// Save to a file, creating parent directories.
+pub fn save(mlp: &Mlp, path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = fs::File::create(path)?;
+    f.write_all(to_string(mlp).as_bytes())
+}
+
+/// Load from a file.
+pub fn load(path: impl AsRef<Path>) -> Result<Mlp, String> {
+    let text = fs::read_to_string(path).map_err(|e| e.to_string())?;
+    from_str(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::mlp::MlpConfig;
+    use crate::LatencyModel;
+
+    fn tiny_mlp() -> Mlp {
+        let mut d = Dataset::new();
+        for i in 0..50 {
+            let x = i as f64 / 50.0;
+            d.push(vec![x, 1.0 - x], 5.0 + x);
+        }
+        Mlp::train(&d, &MlpConfig { epochs: 5, hidden: vec![8, 8], ..MlpConfig::default() })
+    }
+
+    #[test]
+    fn string_roundtrip_is_exact() {
+        let mlp = tiny_mlp();
+        let text = to_string(&mlp);
+        let back = from_str(&text).unwrap();
+        let x = [0.3, 0.7];
+        assert_eq!(mlp.predict_one(&x), back.predict_one(&x));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mlp = tiny_mlp();
+        let path = std::env::temp_dir().join("abacus_persist_test/model.mlp");
+        save(&mlp, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(mlp.predict_one(&[0.5, 0.5]), back.predict_one(&[0.5, 0.5]));
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn corrupt_input_rejected() {
+        assert!(from_str("nonsense").is_err());
+        let mlp = tiny_mlp();
+        let mut text = to_string(&mlp);
+        text.push_str("1.0\n"); // extra parameter
+        assert!(from_str(&text).is_err());
+        let truncated: String = to_string(&mlp).lines().take(5).collect::<Vec<_>>().join("\n");
+        assert!(from_str(&truncated).is_err());
+    }
+}

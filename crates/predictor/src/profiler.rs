@@ -1,0 +1,110 @@
+//! Offline profiling of operator groups (§5.2, §5.4).
+//!
+//! For each sampled [`GroupSpec`] the profiler runs the group on the GPU
+//! simulator `runs` times with different noise seeds and records the mean
+//! and standard deviation of the group latency — exactly the 42 000 × 100
+//! measurement campaign of §5.2, scaled by configuration. Groups are
+//! profiled in parallel with rayon (the measurement legs are independent).
+
+use crate::features::GroupSpec;
+use dnn_models::ModelLibrary;
+use gpu_sim::{run_group, GpuSpec, NoiseModel};
+use rayon::prelude::*;
+use workload::fork_seed;
+
+/// One profiled sample: the group plus its measured latency statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfiledGroup {
+    /// The operator group.
+    pub spec: GroupSpec,
+    /// Mean group latency over all runs, ms.
+    pub mean_ms: f64,
+    /// Standard deviation of the group latency across runs, ms.
+    pub std_ms: f64,
+}
+
+/// Profile one group: `runs` measurements with seeds forked from `seed`.
+pub fn profile_group(
+    spec: &GroupSpec,
+    lib: &ModelLibrary,
+    gpu: &GpuSpec,
+    noise: &NoiseModel,
+    seed: u64,
+    runs: usize,
+) -> ProfiledGroup {
+    assert!(runs > 0);
+    let streams = spec.streams(lib);
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for r in 0..runs {
+        let t = run_group(gpu, noise, fork_seed(seed, r as u64), &streams).total_ms;
+        sum += t;
+        sum_sq += t * t;
+    }
+    let n = runs as f64;
+    let mean = sum / n;
+    let var = (sum_sq / n - mean * mean).max(0.0);
+    ProfiledGroup {
+        spec: spec.clone(),
+        mean_ms: mean,
+        std_ms: var.sqrt(),
+    }
+}
+
+/// Profile many groups in parallel.
+pub fn profile_groups(
+    specs: &[GroupSpec],
+    lib: &ModelLibrary,
+    gpu: &GpuSpec,
+    noise: &NoiseModel,
+    seed: u64,
+    runs: usize,
+) -> Vec<ProfiledGroup> {
+    specs
+        .par_iter()
+        .enumerate()
+        .map(|(i, s)| profile_group(s, lib, gpu, noise, fork_seed(seed, i as u64), runs))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::sample_groups;
+    use dnn_models::ModelId;
+
+    #[test]
+    fn profile_statistics_reasonable() {
+        let lib = ModelLibrary::new();
+        let gpu = GpuSpec::a100();
+        let specs = sample_groups(&[ModelId::ResNet50, ModelId::Bert], 10, &lib, 3);
+        let profiled = profile_groups(&specs, &lib, &gpu, &NoiseModel::calibrated(), 11, 20);
+        assert_eq!(profiled.len(), 10);
+        for p in &profiled {
+            assert!(p.mean_ms > 0.0);
+            assert!(p.std_ms >= 0.0);
+            // §5.2: std is a few percent of the mean.
+            assert!(p.std_ms / p.mean_ms < 0.12, "cv {}", p.std_ms / p.mean_ms);
+        }
+    }
+
+    #[test]
+    fn noise_free_profiling_has_zero_std() {
+        let lib = ModelLibrary::new();
+        let gpu = GpuSpec::a100();
+        let specs = sample_groups(&[ModelId::Vgg16], 3, &lib, 5);
+        for p in profile_groups(&specs, &lib, &gpu, &NoiseModel::disabled(), 1, 5) {
+            assert!(p.std_ms < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let lib = ModelLibrary::new();
+        let gpu = GpuSpec::a100();
+        let specs = sample_groups(&[ModelId::ResNet101, ModelId::Vgg19], 4, &lib, 2);
+        let a = profile_groups(&specs, &lib, &gpu, &NoiseModel::calibrated(), 8, 10);
+        let b = profile_groups(&specs, &lib, &gpu, &NoiseModel::calibrated(), 8, 10);
+        assert_eq!(a, b);
+    }
+}

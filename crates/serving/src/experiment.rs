@@ -1,0 +1,334 @@
+//! Experiment drivers for the §7.2–7.5 single-GPU studies.
+//!
+//! [`run_colocation`] deploys a co-location set on one GPU under a chosen
+//! policy and offered load, and aggregates the per-query records into the
+//! statistics the paper's figures report. The workload (arrival times and
+//! query inputs) is derived solely from the experiment seed, so the four
+//! policies of a figure row are compared on *identical* query streams.
+
+use crate::node::{simulate_node, NodeWorkload, ServiceSpec};
+use abacus_core::{
+    AbacusConfig, AbacusScheduler, BaselinePolicy, BaselineScheduler, Scheduler,
+    SegmentalExecutor,
+};
+use abacus_metrics::ServiceStats;
+use dnn_models::{ModelId, ModelLibrary};
+use gpu_sim::{GpuSpec, NoiseModel};
+use predictor::LatencyModel;
+use std::sync::Arc;
+use workload::{fork_seed, merge_arrivals, PoissonProcess, SeededRng};
+
+/// The four policies compared throughout §7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// First come, first served (Nexus/Clockwork default).
+    Fcfs,
+    /// Shortest job first.
+    Sjf,
+    /// Earliest deadline first.
+    Edf,
+    /// The paper's system.
+    Abacus,
+}
+
+impl PolicyKind {
+    /// All policies in the paper's figure order.
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::Fcfs,
+        PolicyKind::Sjf,
+        PolicyKind::Edf,
+        PolicyKind::Abacus,
+    ];
+
+    /// Figure label.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Fcfs => "FCFS",
+            PolicyKind::Sjf => "SJF",
+            PolicyKind::Edf => "EDF",
+            PolicyKind::Abacus => "Abacus",
+        }
+    }
+}
+
+/// One co-location experiment's knobs.
+#[derive(Debug, Clone)]
+pub struct ColocationConfig {
+    /// Offered load per service, queries per second (50 for the QoS
+    /// studies, 100 for peak throughput).
+    pub qps_per_service: f64,
+    /// Measurement horizon, ms.
+    pub horizon_ms: f64,
+    /// Experiment seed (drives arrivals, inputs, and execution noise).
+    pub seed: u64,
+    /// Fig. 16 mode: pin every query to the model's minimum input and
+    /// tighten QoS to 2× the minimum-input solo latency.
+    pub small_inputs: bool,
+    /// Abacus controller configuration.
+    pub abacus: AbacusConfig,
+}
+
+impl Default for ColocationConfig {
+    fn default() -> Self {
+        Self {
+            qps_per_service: 50.0,
+            horizon_ms: 30_000.0,
+            seed: 2021,
+            small_inputs: false,
+            abacus: AbacusConfig::default(),
+        }
+    }
+}
+
+/// Aggregated outcome of one (co-location set, policy) run.
+#[derive(Debug, Clone)]
+pub struct ColocationResult {
+    /// Stats per service, in deployment order.
+    pub per_service: Vec<ServiceStats>,
+    /// Pooled stats over every query of the run.
+    pub all: ServiceStats,
+    /// The horizon used (for throughput normalisation).
+    pub horizon_ms: f64,
+    /// Per-service QoS targets, ms.
+    pub qos_ms: Vec<f64>,
+}
+
+impl ColocationResult {
+    /// Pooled p99 normalised to the *mean* QoS target (the paper's Fig. 14
+    /// normalises each pair's latency to its QoS target).
+    pub fn normalized_p99(&self) -> f64 {
+        let mean_qos = self.qos_ms.iter().sum::<f64>() / self.qos_ms.len() as f64;
+        self.all.p99_latency() / mean_qos
+    }
+
+    /// Pooled QoS violation ratio (drops count, Fig. 15).
+    pub fn violation_ratio(&self) -> f64 {
+        self.all.violation_ratio()
+    }
+
+    /// Goodput in queries/s (completions within QoS).
+    pub fn goodput_qps(&self) -> f64 {
+        self.all.goodput_qps(self.horizon_ms)
+    }
+
+    /// Peak throughput in completed queries/s (Fig. 17 convention).
+    pub fn completed_qps(&self) -> f64 {
+        self.all.completed_qps(self.horizon_ms)
+    }
+}
+
+/// Build the deterministic workload for a deployment.
+pub fn build_workload(
+    services: &[ServiceSpec],
+    lib: &ModelLibrary,
+    cfg: &ColocationConfig,
+) -> NodeWorkload {
+    let mut rng = SeededRng::new(fork_seed(cfg.seed, 0x77));
+    let streams: Vec<_> = (0..services.len())
+        .map(|s| PoissonProcess::new(s, cfg.qps_per_service).generate(cfg.horizon_ms, &mut rng))
+        .collect();
+    let arrivals = merge_arrivals(streams);
+    let inputs = arrivals
+        .iter()
+        .map(|a| {
+            let model = services[a.service].model;
+            if cfg.small_inputs {
+                model.min_input()
+            } else {
+                lib.random_input(model, &mut rng)
+            }
+        })
+        .collect();
+    NodeWorkload::new(arrivals, inputs)
+}
+
+/// Resolve the deployment's services with their QoS targets on `gpu`.
+pub fn services_for(
+    models: &[ModelId],
+    lib: &ModelLibrary,
+    gpu: &GpuSpec,
+    small_inputs: bool,
+) -> Vec<ServiceSpec> {
+    models
+        .iter()
+        .map(|&m| ServiceSpec {
+            model: m,
+            qos_ms: if small_inputs {
+                lib.qos_target_small_ms(m, gpu)
+            } else {
+                lib.qos_target_ms(m, gpu)
+            },
+        })
+        .collect()
+}
+
+/// Run one co-location experiment.
+///
+/// `predictor` is required for [`PolicyKind::Abacus`] and ignored
+/// otherwise.
+pub fn run_colocation(
+    models: &[ModelId],
+    policy: PolicyKind,
+    predictor: Option<Arc<dyn LatencyModel>>,
+    lib: &Arc<ModelLibrary>,
+    gpu: &GpuSpec,
+    noise: &NoiseModel,
+    cfg: &ColocationConfig,
+) -> ColocationResult {
+    let services = services_for(models, lib, gpu, cfg.small_inputs);
+    run_with_services(&services, policy, predictor, lib, gpu, noise, cfg)
+}
+
+/// Run one co-location experiment with explicitly-specified services.
+///
+/// The MIG study (Figs. 20–21) needs this: QoS targets stay calibrated to
+/// the *full* A100 while the services execute on a slower MIG slice.
+pub fn run_with_services(
+    services: &[ServiceSpec],
+    policy: PolicyKind,
+    predictor: Option<Arc<dyn LatencyModel>>,
+    lib: &Arc<ModelLibrary>,
+    gpu: &GpuSpec,
+    noise: &NoiseModel,
+    cfg: &ColocationConfig,
+) -> ColocationResult {
+    let workload = build_workload(services, lib, cfg);
+
+    let mut scheduler: Box<dyn Scheduler> = match policy {
+        PolicyKind::Fcfs => Box::new(BaselineScheduler::new(
+            BaselinePolicy::Fcfs,
+            lib.clone(),
+            gpu.clone(),
+        )),
+        PolicyKind::Sjf => Box::new(BaselineScheduler::new(
+            BaselinePolicy::Sjf,
+            lib.clone(),
+            gpu.clone(),
+        )),
+        PolicyKind::Edf => Box::new(BaselineScheduler::new(
+            BaselinePolicy::Edf,
+            lib.clone(),
+            gpu.clone(),
+        )),
+        PolicyKind::Abacus => Box::new(AbacusScheduler::new(
+            predictor.expect("Abacus needs a latency predictor"),
+            lib.clone(),
+            cfg.abacus.clone(),
+        )),
+    };
+    let mut executor = SegmentalExecutor::new(
+        gpu.clone(),
+        noise.clone(),
+        lib.clone(),
+        fork_seed(cfg.seed, 0xE0),
+    );
+    let records = simulate_node(scheduler.as_mut(), &mut executor, lib, services, &workload);
+
+    let mut per_service: Vec<ServiceStats> = services.iter().map(|_| ServiceStats::new()).collect();
+    let mut all = ServiceStats::new();
+    for r in &records {
+        per_service[r.service].record(r);
+        all.record(r);
+    }
+    ColocationResult {
+        per_service,
+        all,
+        horizon_ms: cfg.horizon_ms,
+        qos_ms: services.iter().map(|s| s.qos_ms).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{train_unified, TrainerConfig};
+
+    fn setup() -> (Arc<ModelLibrary>, GpuSpec, NoiseModel) {
+        (
+            Arc::new(ModelLibrary::new()),
+            GpuSpec::a100(),
+            NoiseModel::calibrated(),
+        )
+    }
+
+    fn small_cfg() -> ColocationConfig {
+        ColocationConfig {
+            qps_per_service: 40.0,
+            horizon_ms: 6_000.0,
+            seed: 3,
+            ..ColocationConfig::default()
+        }
+    }
+
+    #[test]
+    fn abacus_beats_fcfs_on_overlap_friendly_pair() {
+        let (lib, gpu, noise) = setup();
+        let models = [ModelId::ResNet50, ModelId::ResNet152];
+        let (mlp, _) = train_unified(
+            &[models.to_vec()],
+            &lib,
+            &gpu,
+            &noise,
+            &TrainerConfig {
+                samples_per_set: 600,
+                runs_per_group: 3,
+                ..TrainerConfig::fast()
+            },
+        );
+        let mlp: Arc<dyn LatencyModel> = Arc::new(mlp);
+        let cfg = small_cfg();
+        let fcfs = run_colocation(&models, PolicyKind::Fcfs, None, &lib, &gpu, &noise, &cfg);
+        let abacus = run_colocation(
+            &models,
+            PolicyKind::Abacus,
+            Some(mlp),
+            &lib,
+            &gpu,
+            &noise,
+            &cfg,
+        );
+        // Same total queries (identical workload).
+        assert_eq!(fcfs.all.total(), abacus.all.total());
+        assert!(
+            abacus.goodput_qps() >= fcfs.goodput_qps() * 0.98,
+            "abacus {} vs fcfs {}",
+            abacus.goodput_qps(),
+            fcfs.goodput_qps()
+        );
+        assert!(
+            abacus.violation_ratio() <= fcfs.violation_ratio() + 0.02,
+            "abacus {} vs fcfs {}",
+            abacus.violation_ratio(),
+            fcfs.violation_ratio()
+        );
+    }
+
+    #[test]
+    fn policies_see_identical_workloads() {
+        let (lib, gpu, noise) = setup();
+        let models = [ModelId::ResNet50, ModelId::Bert];
+        let cfg = small_cfg();
+        let a = run_colocation(&models, PolicyKind::Fcfs, None, &lib, &gpu, &noise, &cfg);
+        let b = run_colocation(&models, PolicyKind::Edf, None, &lib, &gpu, &noise, &cfg);
+        assert_eq!(a.all.total(), b.all.total());
+    }
+
+    #[test]
+    fn small_input_mode_tightens_qos() {
+        let (lib, gpu, _) = setup();
+        let normal = services_for(&[ModelId::ResNet101], &lib, &gpu, false);
+        let small = services_for(&[ModelId::ResNet101], &lib, &gpu, true);
+        assert!(small[0].qos_ms < normal[0].qos_ms);
+    }
+
+    #[test]
+    fn results_are_reproducible() {
+        let (lib, gpu, noise) = setup();
+        let models = [ModelId::InceptionV3, ModelId::Vgg16];
+        let cfg = small_cfg();
+        let a = run_colocation(&models, PolicyKind::Edf, None, &lib, &gpu, &noise, &cfg);
+        let b = run_colocation(&models, PolicyKind::Edf, None, &lib, &gpu, &noise, &cfg);
+        assert_eq!(a.all.p99_latency(), b.all.p99_latency());
+        assert_eq!(a.all.total(), b.all.total());
+    }
+}

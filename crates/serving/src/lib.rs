@@ -1,0 +1,23 @@
+//! Single-GPU serving simulation and experiment drivers.
+//!
+//! This crate ties the substrate together into the paper's evaluation
+//! harness: [`node`] is the discrete-event serving loop (arrivals → queue →
+//! scheduler → segmental executor), [`mps`] reproduces the Fig. 3
+//! free-overlap motivation, [`trainer`] runs the offline
+//! sample-profile-train pipeline, and [`experiment`] drives the §7.2–7.5
+//! co-location studies with paired workloads across policies.
+
+pub mod deploy;
+pub mod experiment;
+pub mod mps;
+pub mod node;
+pub mod trainer;
+
+pub use deploy::{memory_report, MemoryReport, ServiceFootprint};
+pub use experiment::{
+    build_workload, run_colocation, run_with_services, services_for, ColocationConfig,
+    ColocationResult, PolicyKind,
+};
+pub use mps::{mps_victim_latencies, victim_solo_ms, MpsConfig};
+pub use node::{simulate_node, NodeWorkload, ServiceSpec};
+pub use trainer::{collect_dataset, collect_profiles, train_unified, TrainerConfig};

@@ -1,0 +1,315 @@
+//! Single-GPU serving simulation.
+//!
+//! An open-loop discrete-event loop: queries arrive on a merged Poisson
+//! stream, wait in the node's queue, and are executed in operator groups
+//! proposed by a [`Scheduler`] (Abacus or a sequential baseline) on the
+//! [`SegmentalExecutor`]. The executor runs one group at a time — the
+//! exclusivity that makes Abacus's operator overlap deterministic — and
+//! queries that complete in a group all return at the group's final sync.
+//!
+//! Output is one [`QueryRecord`] per query, from which every §7.2–7.5
+//! figure is computed.
+
+use abacus_core::{Query, Scheduler, SegmentalExecutor};
+use abacus_metrics::{QueryOutcome, QueryRecord};
+use dnn_models::{ModelId, ModelLibrary, QueryInput};
+use workload::Arrival;
+
+/// A deployed service: the model plus its QoS target on this node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceSpec {
+    /// The model this service runs.
+    pub model: ModelId,
+    /// Latency budget per query, ms.
+    pub qos_ms: f64,
+}
+
+/// The workload handed to one node: arrivals (service index ↦
+/// `services[i]`) with per-query inputs drawn in advance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeWorkload {
+    /// Time-sorted arrivals.
+    pub arrivals: Vec<Arrival>,
+    /// Inputs, parallel to `arrivals`.
+    pub inputs: Vec<QueryInput>,
+}
+
+impl NodeWorkload {
+    /// Validate lengths and ordering.
+    pub fn new(arrivals: Vec<Arrival>, inputs: Vec<QueryInput>) -> Self {
+        assert_eq!(arrivals.len(), inputs.len());
+        debug_assert!(arrivals.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        Self { arrivals, inputs }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// True when the workload carries no queries.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+}
+
+/// Run one node to completion: all arrivals admitted, the queue drained.
+///
+/// Returns one record per query, in completion/drop order.
+pub fn simulate_node(
+    scheduler: &mut dyn Scheduler,
+    executor: &mut SegmentalExecutor,
+    lib: &ModelLibrary,
+    services: &[ServiceSpec],
+    workload: &NodeWorkload,
+) -> Vec<QueryRecord> {
+    let mut records = Vec::with_capacity(workload.len());
+    let mut queue: Vec<Query> = Vec::new();
+    let mut next_arrival = 0usize;
+    let mut now = 0.0f64;
+
+    let admit = |queue: &mut Vec<Query>, next_arrival: &mut usize, now: f64| {
+        while *next_arrival < workload.len() && workload.arrivals[*next_arrival].at_ms <= now {
+            let a = workload.arrivals[*next_arrival];
+            let input = workload.inputs[*next_arrival];
+            let svc = services[a.service];
+            let n_ops = lib.graph(svc.model, input).len();
+            queue.push(Query::new(
+                *next_arrival as u64,
+                svc.model,
+                input,
+                a.at_ms,
+                svc.qos_ms,
+                n_ops,
+            ));
+            *next_arrival += 1;
+        }
+    };
+
+    loop {
+        admit(&mut queue, &mut next_arrival, now);
+        if queue.is_empty() {
+            match workload.arrivals.get(next_arrival) {
+                Some(a) => {
+                    now = a.at_ms;
+                    continue;
+                }
+                None => break,
+            }
+        }
+
+        let decision = scheduler.decide(now, &queue);
+        for id in &decision.dropped {
+            let pos = queue
+                .iter()
+                .position(|q| q.id == *id)
+                .expect("scheduler dropped an unknown query");
+            let q = queue.swap_remove(pos);
+            records.push(QueryRecord {
+                service: service_index(services, q.model),
+                arrival_ms: q.arrival_ms,
+                latency_ms: now - q.arrival_ms,
+                qos_ms: q.qos_ms,
+                outcome: QueryOutcome::Dropped,
+                requests: q.input.batch,
+                queue_ms: q.queue_ms().unwrap_or(now - q.arrival_ms),
+            });
+        }
+        let Some(group) = decision.group else {
+            // Everything present was dropped; take the next arrival.
+            continue;
+        };
+        now += decision.overhead_ms;
+        for e in &group.entries {
+            let pos = queue.iter().position(|q| q.id == e.query_id).unwrap();
+            queue[pos].mark_started(now);
+        }
+        let spec = group.to_spec(
+            |id| {
+                queue
+                    .iter()
+                    .find(|q| q.id == id)
+                    .expect("group references an unknown query")
+            },
+            lib,
+        );
+        let out = executor.execute(&spec);
+        now += out.duration_ms;
+        scheduler.on_group_complete(out.duration_ms);
+        for e in &group.entries {
+            let pos = queue.iter().position(|q| q.id == e.query_id).unwrap();
+            queue[pos].advance_to(e.op_end);
+            if queue[pos].is_complete() {
+                let q = queue.swap_remove(pos);
+                records.push(QueryRecord {
+                    service: service_index(services, q.model),
+                    arrival_ms: q.arrival_ms,
+                    latency_ms: now - q.arrival_ms,
+                    qos_ms: q.qos_ms,
+                    outcome: QueryOutcome::Completed,
+                    requests: q.input.batch,
+                    queue_ms: q.queue_ms().unwrap_or(0.0),
+                });
+            }
+        }
+    }
+    records
+}
+
+fn service_index(services: &[ServiceSpec], model: ModelId) -> usize {
+    services
+        .iter()
+        .position(|s| s.model == model)
+        .expect("model not deployed on this node")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abacus_core::{
+        AbacusConfig, AbacusScheduler, BaselinePolicy, BaselineScheduler, SegmentalExecutor,
+    };
+    use gpu_sim::{GpuSpec, NoiseModel};
+    use predictor::LatencyModel;
+    use std::sync::Arc;
+    use workload::{merge_arrivals, PoissonProcess, SeededRng};
+
+    fn lib() -> Arc<ModelLibrary> {
+        Arc::new(ModelLibrary::new())
+    }
+
+    fn mk_workload(
+        services: &[ServiceSpec],
+        qps: f64,
+        horizon: f64,
+        lib: &ModelLibrary,
+        seed: u64,
+    ) -> NodeWorkload {
+        let mut rng = SeededRng::new(seed);
+        let streams: Vec<_> = (0..services.len())
+            .map(|s| PoissonProcess::new(s, qps).generate(horizon, &mut rng))
+            .collect();
+        let arrivals = merge_arrivals(streams);
+        let inputs = arrivals
+            .iter()
+            .map(|a| lib.random_input(services[a.service].model, &mut rng))
+            .collect();
+        NodeWorkload::new(arrivals, inputs)
+    }
+
+    fn services(models: &[ModelId], lib: &ModelLibrary, gpu: &GpuSpec) -> Vec<ServiceSpec> {
+        models
+            .iter()
+            .map(|&m| ServiceSpec {
+                model: m,
+                qos_ms: lib.qos_target_ms(m, gpu),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fcfs_under_light_load_meets_qos() {
+        let lib = lib();
+        let gpu = GpuSpec::a100();
+        let svcs = services(&[ModelId::ResNet50, ModelId::ResNet101], &lib, &gpu);
+        let wl = mk_workload(&svcs, 5.0, 5_000.0, &lib, 1);
+        let mut sched = BaselineScheduler::new(BaselinePolicy::Fcfs, lib.clone(), gpu.clone());
+        let mut exec = SegmentalExecutor::new(gpu, NoiseModel::disabled(), lib.clone(), 2);
+        let records = simulate_node(&mut sched, &mut exec, &lib, &svcs, &wl);
+        assert_eq!(records.len(), wl.len());
+        let met = records.iter().filter(|r| r.met_qos()).count();
+        assert!(met * 10 >= records.len() * 9, "{met}/{}", records.len());
+    }
+
+    #[test]
+    fn every_query_is_accounted_exactly_once() {
+        let lib = lib();
+        let gpu = GpuSpec::a100();
+        let svcs = services(&[ModelId::Vgg16, ModelId::Vgg19], &lib, &gpu);
+        let wl = mk_workload(&svcs, 40.0, 3_000.0, &lib, 2);
+        let mut sched = BaselineScheduler::new(BaselinePolicy::Edf, lib.clone(), gpu.clone());
+        let mut exec = SegmentalExecutor::new(gpu, NoiseModel::calibrated(), lib.clone(), 3);
+        let records = simulate_node(&mut sched, &mut exec, &lib, &svcs, &wl);
+        assert_eq!(records.len(), wl.len());
+    }
+
+    /// A cheap stand-in predictor: sequential sum of solo latencies
+    /// (pessimistic, so QoS always holds; exercises the full Abacus path).
+    struct SeqModel {
+        lib: Arc<ModelLibrary>,
+        gpu: GpuSpec,
+    }
+    impl LatencyModel for SeqModel {
+        fn predict_one(&self, x: &[f64]) -> f64 {
+            // Decode spans from the Fig. 8 layout; weight by each model's
+            // max-input solo latency as a crude per-op cost.
+            let mut total = 0.0;
+            let mut slot = 0;
+            for (idx, m) in ModelId::ALL.into_iter().enumerate() {
+                if x[idx] > 0.5 {
+                    let base = predictor::MODEL_SLOT_BASE + slot * 4;
+                    let span = x[base + 1] - x[base];
+                    let solo = self.lib.solo_ms(m, m.max_input(), &self.gpu);
+                    total += span * solo;
+                    slot += 1;
+                }
+            }
+            total
+        }
+        fn name(&self) -> &'static str {
+            "seq"
+        }
+    }
+
+    #[test]
+    fn abacus_node_runs_and_meets_qos_under_light_load() {
+        let lib = lib();
+        let gpu = GpuSpec::a100();
+        let svcs = services(&[ModelId::ResNet50, ModelId::Bert], &lib, &gpu);
+        let wl = mk_workload(&svcs, 10.0, 5_000.0, &lib, 4);
+        let model = Arc::new(SeqModel {
+            lib: lib.clone(),
+            gpu: gpu.clone(),
+        });
+        let mut sched = AbacusScheduler::new(model, lib.clone(), AbacusConfig::default());
+        let mut exec = SegmentalExecutor::new(gpu, NoiseModel::calibrated(), lib.clone(), 5);
+        let records = simulate_node(&mut sched, &mut exec, &lib, &svcs, &wl);
+        assert_eq!(records.len(), wl.len());
+        let violations = records.iter().filter(|r| !r.met_qos()).count();
+        assert!(
+            violations * 20 <= records.len(),
+            "{violations}/{}",
+            records.len()
+        );
+    }
+
+    #[test]
+    fn overload_drops_rather_than_stalls() {
+        let lib = lib();
+        let gpu = GpuSpec::a100();
+        // Absurd load on a heavy pair: the drop mechanism must keep the
+        // queue draining and every query accounted.
+        let svcs = services(&[ModelId::Vgg16, ModelId::Vgg19], &lib, &gpu);
+        let wl = mk_workload(&svcs, 120.0, 2_000.0, &lib, 6);
+        let mut sched = BaselineScheduler::new(BaselinePolicy::Fcfs, lib.clone(), gpu.clone());
+        let mut exec = SegmentalExecutor::new(gpu, NoiseModel::disabled(), lib.clone(), 7);
+        let records = simulate_node(&mut sched, &mut exec, &lib, &svcs, &wl);
+        assert_eq!(records.len(), wl.len());
+        let dropped = records
+            .iter()
+            .filter(|r| r.outcome == QueryOutcome::Dropped)
+            .count();
+        assert!(dropped > 0);
+    }
+
+    #[test]
+    fn empty_workload_is_fine() {
+        let lib = lib();
+        let gpu = GpuSpec::a100();
+        let svcs = services(&[ModelId::ResNet50], &lib, &gpu);
+        let wl = NodeWorkload::new(vec![], vec![]);
+        let mut sched = BaselineScheduler::new(BaselinePolicy::Sjf, lib.clone(), gpu.clone());
+        let mut exec = SegmentalExecutor::new(gpu, NoiseModel::disabled(), lib.clone(), 8);
+        assert!(simulate_node(&mut sched, &mut exec, &lib, &svcs, &wl).is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! Open-loop arrival processes.
+//!
+//! The paper submits queries at a fixed offered load (50 QPS for the QoS
+//! experiments, 100 QPS for peak throughput) with Poisson inter-arrival
+//! times. [`PoissonProcess`] generates those timestamps; [`merge_arrivals`]
+//! interleaves the per-service streams into the single time-ordered stream a
+//! serving node consumes.
+
+use crate::dist::Exponential;
+use crate::rng::SeededRng;
+
+/// One query arrival: which service it belongs to and when it arrives (ms).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Index of the service (position in the co-location set).
+    pub service: usize,
+    /// Arrival timestamp in milliseconds since experiment start.
+    pub at_ms: f64,
+}
+
+/// Homogeneous Poisson arrival process for a single service.
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    inter: Exponential,
+    service: usize,
+}
+
+impl PoissonProcess {
+    /// Create a process producing `qps` arrivals per second on average for
+    /// service index `service`.
+    pub fn new(service: usize, qps: f64) -> Self {
+        assert!(qps > 0.0, "offered load must be positive");
+        // Internal clock is milliseconds, so the rate is per-ms.
+        Self {
+            inter: Exponential::new(qps / 1000.0),
+            service,
+        }
+    }
+
+    /// Generate all arrivals in `[0, horizon_ms)`.
+    pub fn generate(&self, horizon_ms: f64, rng: &mut SeededRng) -> Vec<Arrival> {
+        let mut t = 0.0;
+        let mut out = Vec::new();
+        loop {
+            t += self.inter.sample(rng);
+            if t >= horizon_ms {
+                break;
+            }
+            out.push(Arrival {
+                service: self.service,
+                at_ms: t,
+            });
+        }
+        out
+    }
+}
+
+/// Merge several per-service arrival streams into one stream sorted by time.
+///
+/// Ties (which are measure-zero for continuous arrivals, but can be produced
+/// by synthetic traces) are broken by service index so the result is fully
+/// deterministic.
+pub fn merge_arrivals(streams: Vec<Vec<Arrival>>) -> Vec<Arrival> {
+    let mut merged: Vec<Arrival> = streams.into_iter().flatten().collect();
+    merged.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms).then(a.service.cmp(&b.service)));
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let mut rng = SeededRng::new(10);
+        let p = PoissonProcess::new(0, 50.0);
+        let horizon = 60_000.0; // 60 s
+        let arrivals = p.generate(horizon, &mut rng);
+        let rate = arrivals.len() as f64 / 60.0;
+        assert!((rate - 50.0).abs() < 3.0, "rate {rate}");
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_in_range() {
+        let mut rng = SeededRng::new(11);
+        let p = PoissonProcess::new(2, 20.0);
+        let arrivals = p.generate(5_000.0, &mut rng);
+        for w in arrivals.windows(2) {
+            assert!(w[0].at_ms <= w[1].at_ms);
+        }
+        assert!(arrivals.iter().all(|a| a.at_ms < 5_000.0 && a.at_ms > 0.0));
+        assert!(arrivals.iter().all(|a| a.service == 2));
+    }
+
+    #[test]
+    fn merge_is_globally_sorted() {
+        let mut rng = SeededRng::new(12);
+        let streams: Vec<Vec<Arrival>> = (0..4)
+            .map(|s| PoissonProcess::new(s, 25.0).generate(10_000.0, &mut rng))
+            .collect();
+        let total: usize = streams.iter().map(Vec::len).sum();
+        let merged = merge_arrivals(streams);
+        assert_eq!(merged.len(), total);
+        for w in merged.windows(2) {
+            assert!(w[0].at_ms <= w[1].at_ms);
+        }
+    }
+
+    #[test]
+    fn empty_merge_is_empty() {
+        assert!(merge_arrivals(vec![]).is_empty());
+        assert!(merge_arrivals(vec![vec![], vec![]]).is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! Time-varying rate traces.
+//!
+//! Fig. 22 of the paper replays two hours of the Microsoft Azure Functions
+//! (MAF) production trace against a 16-GPU cluster. The production trace is
+//! not redistributable, so [`synthesize_maf_like`] builds a trace with the
+//! same qualitative features reported for MAF workloads (diurnal ramp,
+//! sustained plateau, short bursts, heavy minute-to-minute jitter); see
+//! DESIGN.md §1 for the substitution rationale. [`RateTrace`] turns any
+//! per-minute rate series into a concrete arrival stream via a piecewise
+//! homogeneous Poisson process.
+
+use crate::arrivals::Arrival;
+use crate::dist::Exponential;
+use crate::rng::SeededRng;
+
+/// A per-minute offered-load trace (queries per second, one entry a minute).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateTrace {
+    qps_per_minute: Vec<f64>,
+}
+
+impl RateTrace {
+    /// Build a trace from explicit per-minute QPS values.
+    ///
+    /// # Panics
+    /// Panics if any rate is negative or non-finite.
+    pub fn new(qps_per_minute: Vec<f64>) -> Self {
+        assert!(
+            qps_per_minute.iter().all(|&q| q >= 0.0 && q.is_finite()),
+            "rates must be non-negative"
+        );
+        Self { qps_per_minute }
+    }
+
+    /// Number of minutes covered.
+    pub fn minutes(&self) -> usize {
+        self.qps_per_minute.len()
+    }
+
+    /// Total duration in milliseconds.
+    pub fn horizon_ms(&self) -> f64 {
+        self.minutes() as f64 * 60_000.0
+    }
+
+    /// Offered load during minute `m` (QPS).
+    pub fn qps_at_minute(&self, m: usize) -> f64 {
+        self.qps_per_minute[m]
+    }
+
+    /// Per-minute rates as a slice.
+    pub fn rates(&self) -> &[f64] {
+        &self.qps_per_minute
+    }
+
+    /// Scale every rate by `factor` (e.g. to split a cluster trace across
+    /// nodes or calibrate to simulated capacity).
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor >= 0.0 && factor.is_finite());
+        Self {
+            qps_per_minute: self.qps_per_minute.iter().map(|q| q * factor).collect(),
+        }
+    }
+
+    /// Realise the trace as arrivals for service `service`: a piecewise
+    /// homogeneous Poisson process, rate held constant within each minute.
+    pub fn generate(&self, service: usize, rng: &mut SeededRng) -> Vec<Arrival> {
+        let mut out = Vec::new();
+        for (m, &qps) in self.qps_per_minute.iter().enumerate() {
+            if qps <= 0.0 {
+                continue;
+            }
+            let start = m as f64 * 60_000.0;
+            let end = start + 60_000.0;
+            let inter = Exponential::new(qps / 1000.0);
+            let mut t = start;
+            loop {
+                t += inter.sample(rng);
+                if t >= end {
+                    break;
+                }
+                out.push(Arrival { service, at_ms: t });
+            }
+        }
+        out
+    }
+}
+
+/// Synthesize a MAF-like per-minute trace.
+///
+/// Shape: a baseline load that ramps up over the first quarter of the trace
+/// (diurnal rise), holds a plateau with slow sinusoidal drift, and overlays
+/// (a) per-minute lognormal-ish jitter and (b) occasional multi-minute
+/// bursts, mirroring the burstiness of serverless invocation traces.
+///
+/// * `minutes` — trace length (the paper replays 120 minutes)
+/// * `peak_qps` — plateau offered load
+/// * `seed` — RNG seed
+pub fn synthesize_maf_like(minutes: usize, peak_qps: f64, seed: u64) -> RateTrace {
+    assert!(peak_qps > 0.0);
+    let mut rng = SeededRng::new(seed);
+    let ramp = (minutes / 4).max(1);
+    let mut rates = Vec::with_capacity(minutes);
+    let mut burst_left = 0usize;
+    let mut burst_gain = 1.0;
+    for m in 0..minutes {
+        // Diurnal ramp to the plateau, then gentle drift.
+        let base = if m < ramp {
+            0.55 + 0.45 * (m as f64 / ramp as f64)
+        } else {
+            1.0 + 0.06 * ((m as f64 / 17.0).sin())
+        };
+        // Bursts: ~5% chance per minute to start a 2–5 minute burst of
+        // 15–35% extra load.
+        if burst_left == 0 && rng.bool(0.05) {
+            burst_left = 2 + rng.index(4);
+            burst_gain = 1.15 + 0.20 * rng.f64();
+        }
+        let burst = if burst_left > 0 {
+            burst_left -= 1;
+            burst_gain
+        } else {
+            1.0
+        };
+        // Minute-to-minute jitter of roughly ±6%.
+        let jitter = 1.0 + 0.06 * rng.normal();
+        rates.push((peak_qps * base * burst * jitter).max(0.0));
+    }
+    RateTrace::new(rates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maf_trace_shape() {
+        let t = synthesize_maf_like(120, 100.0, 7);
+        assert_eq!(t.minutes(), 120);
+        // Ramp: early load clearly below plateau.
+        let early: f64 = t.rates()[..10].iter().sum::<f64>() / 10.0;
+        let late: f64 = t.rates()[60..120].iter().sum::<f64>() / 60.0;
+        assert!(early < 0.85 * late, "early {early} late {late}");
+        // Plateau sits near peak_qps.
+        assert!((late - 100.0).abs() < 15.0, "late {late}");
+    }
+
+    #[test]
+    fn trace_generation_matches_rates() {
+        let t = RateTrace::new(vec![10.0, 100.0]);
+        let mut rng = SeededRng::new(8);
+        // Average over repeats to dampen Poisson noise.
+        let mut counts = [0usize; 2];
+        for rep in 0..20 {
+            let mut r = SeededRng::new(8 + rep);
+            for a in t.generate(0, &mut r) {
+                let minute = (a.at_ms / 60_000.0) as usize;
+                counts[minute] += 1;
+            }
+        }
+        let per_min0 = counts[0] as f64 / 20.0;
+        let per_min1 = counts[1] as f64 / 20.0;
+        assert!((per_min0 - 600.0).abs() < 80.0, "min0 {per_min0}");
+        assert!((per_min1 - 6000.0).abs() < 300.0, "min1 {per_min1}");
+        let _ = rng.f64();
+    }
+
+    #[test]
+    fn zero_rate_minute_generates_nothing() {
+        let t = RateTrace::new(vec![0.0, 0.0]);
+        let mut rng = SeededRng::new(9);
+        assert!(t.generate(0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn scaled_trace() {
+        let t = RateTrace::new(vec![10.0, 20.0]).scaled(0.5);
+        assert_eq!(t.rates(), &[5.0, 10.0]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = synthesize_maf_like(60, 50.0, 1);
+        let b = synthesize_maf_like(60, 50.0, 1);
+        assert_eq!(a, b);
+    }
+}

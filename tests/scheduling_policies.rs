@@ -1,0 +1,187 @@
+//! Integration tests of the scheduling layer: QoS semantics across
+//! policies, the drop mechanism, headroom discipline, and the MIG study's
+//! building blocks.
+
+use abacus_core::{AbacusConfig, AbacusScheduler, Query, Scheduler};
+use dnn_models::{ModelId, ModelLibrary, QueryInput};
+use gpu_sim::{GpuSpec, MigProfile, NoiseModel};
+use predictor::LatencyModel;
+use serving::{
+    run_colocation, run_with_services, train_unified, ColocationConfig, PolicyKind, ServiceSpec,
+    TrainerConfig,
+};
+use std::sync::Arc;
+
+fn setup() -> (Arc<ModelLibrary>, GpuSpec, NoiseModel) {
+    (
+        Arc::new(ModelLibrary::new()),
+        GpuSpec::a100(),
+        NoiseModel::calibrated(),
+    )
+}
+
+fn trained_pair(
+    pair: &[ModelId],
+    lib: &Arc<ModelLibrary>,
+    gpu: &GpuSpec,
+    noise: &NoiseModel,
+) -> Arc<dyn LatencyModel> {
+    let (mlp, _) = train_unified(
+        &[pair.to_vec()],
+        lib,
+        gpu,
+        noise,
+        &TrainerConfig {
+            samples_per_set: 500,
+            runs_per_group: 3,
+            mlp: predictor::MlpConfig {
+                epochs: 80,
+                ..predictor::MlpConfig::default()
+            },
+            seed: 4,
+        },
+    );
+    Arc::new(mlp)
+}
+
+/// Under light load every policy meets QoS — the policies only diverge
+/// once the queue carries real pressure.
+#[test]
+fn light_load_meets_qos_for_all_policies() {
+    let (lib, gpu, noise) = setup();
+    let pair = [ModelId::ResNet50, ModelId::InceptionV3];
+    let mlp = trained_pair(&pair, &lib, &gpu, &noise);
+    let cfg = ColocationConfig {
+        qps_per_service: 4.0,
+        horizon_ms: 8_000.0,
+        seed: 11,
+        ..ColocationConfig::default()
+    };
+    for p in PolicyKind::ALL {
+        let pred = (p == PolicyKind::Abacus).then(|| mlp.clone());
+        let r = run_colocation(&pair, p, pred, &lib, &gpu, &noise, &cfg);
+        assert!(
+            r.violation_ratio() < 0.02,
+            "{}: viol {}",
+            p.name(),
+            r.violation_ratio()
+        );
+    }
+}
+
+/// Abacus's completed queries respect their *own* per-service QoS targets
+/// almost always — the predictor-certified groups are the mechanism.
+#[test]
+fn abacus_completed_queries_meet_per_service_qos() {
+    let (lib, gpu, noise) = setup();
+    let pair = [ModelId::ResNet152, ModelId::InceptionV3];
+    let mlp = trained_pair(&pair, &lib, &gpu, &noise);
+    let cfg = ColocationConfig {
+        qps_per_service: 25.0,
+        horizon_ms: 10_000.0,
+        seed: 12,
+        ..ColocationConfig::default()
+    };
+    let r = run_colocation(
+        &pair,
+        PolicyKind::Abacus,
+        Some(mlp),
+        &lib,
+        &gpu,
+        &noise,
+        &cfg,
+    );
+    for (i, s) in r.per_service.iter().enumerate() {
+        if s.completed() == 0 {
+            continue;
+        }
+        let p95 = s.latency_percentile(95.0);
+        assert!(
+            p95 <= r.qos_ms[i] * 1.15,
+            "service {i}: p95 {p95} vs qos {}",
+            r.qos_ms[i]
+        );
+    }
+}
+
+/// The controller refuses to start queries it cannot finish (the §6.2
+/// drop mechanism) instead of poisoning the queue.
+#[test]
+fn drop_mechanism_sheds_infeasible_queries() {
+    let (lib, gpu, _) = setup();
+    let mlp = trained_pair(&[ModelId::Vgg19], &lib, &gpu, &NoiseModel::calibrated());
+    let mut sched = AbacusScheduler::new(mlp, lib.clone(), AbacusConfig::default());
+    let input = QueryInput::new(32, 1);
+    let n = lib.graph(ModelId::Vgg19, input).len();
+    // 3 ms of headroom for a ~27 ms query: must be dropped, not scheduled.
+    let q = Query::new(1, ModelId::Vgg19, input, 0.0, 30.0, n);
+    let d = sched.decide(27.0, &[q]);
+    assert_eq!(d.dropped, vec![1]);
+    assert!(d.group.is_none());
+}
+
+/// MIG full isolation breaks QoS for the heavy models while Abacus on the
+/// un-partitioned slice keeps violations strictly lower (Fig. 20's story).
+#[test]
+fn mig_isolation_story() {
+    let (lib, gpu, noise) = setup();
+    let small = gpu.mig_slice(MigProfile::OneG5Gb);
+    let qos = lib.qos_target_ms(ModelId::ResNet152, &gpu);
+    let services = vec![ServiceSpec {
+        model: ModelId::ResNet152,
+        qos_ms: qos,
+    }];
+    let cfg = ColocationConfig {
+        qps_per_service: 8.0,
+        horizon_ms: 8_000.0,
+        seed: 13,
+        ..ColocationConfig::default()
+    };
+    let isolated = run_with_services(
+        &services,
+        PolicyKind::Fcfs,
+        None,
+        &lib,
+        &small,
+        &noise,
+        &cfg,
+    );
+    // The 1/7 slice cannot run ResNet-152's large inputs inside a QoS
+    // target calibrated for the full GPU.
+    assert!(
+        isolated.violation_ratio() > 0.2,
+        "isolated viol {}",
+        isolated.violation_ratio()
+    );
+    let full = run_colocation(
+        &[ModelId::ResNet152],
+        PolicyKind::Fcfs,
+        None,
+        &lib,
+        &gpu,
+        &noise,
+        &cfg,
+    );
+    assert!(full.violation_ratio() < isolated.violation_ratio());
+}
+
+/// SJF pays prediction latency on the critical path; with a deep queue its
+/// scheduling overhead is visible against FCFS on identical work.
+#[test]
+fn sjf_overhead_visible_under_pressure() {
+    let (lib, gpu, noise) = setup();
+    let pair = [ModelId::ResNet50, ModelId::Bert];
+    let cfg = ColocationConfig {
+        qps_per_service: 60.0,
+        horizon_ms: 6_000.0,
+        seed: 14,
+        ..ColocationConfig::default()
+    };
+    let fcfs = run_colocation(&pair, PolicyKind::Fcfs, None, &lib, &gpu, &noise, &cfg);
+    let sjf = run_colocation(&pair, PolicyKind::Sjf, None, &lib, &gpu, &noise, &cfg);
+    // Same offered work.
+    assert_eq!(fcfs.all.total(), sjf.all.total());
+    // SJF's mean latency for completed small jobs is lower (that is its
+    // point), but it cannot complete more than the queue allows.
+    assert!(sjf.all.mean_latency() <= fcfs.all.mean_latency() * 1.05);
+}
