@@ -249,6 +249,15 @@ fn fig23(c: &mut Criterion, fx: &Fixture) {
     c.bench_function("fig23_search_ways", |b| {
         b.iter(|| black_box(fx.mlp.predict_batch(black_box(&batch))))
     });
+    // The same 4-way round on the pre-batching scalar path: the gap is the
+    // tentpole win this PR's BENCH_search.json tracks.
+    c.bench_function("fig23_search_ways_scalar", |b| {
+        b.iter(|| {
+            for row in &batch {
+                black_box(fx.mlp.predict_one_scalar(black_box(row)));
+            }
+        })
+    });
 }
 
 /// Tables 1/2: model-zoo instantiation and spec derivation.

@@ -48,7 +48,8 @@ fn bench_contention(c: &mut Criterion) {
     });
 }
 
-/// The Fig. 23 measurement: batched prediction latency vs search ways.
+/// The Fig. 23 measurement: batched prediction latency vs search ways,
+/// with the pre-batching scalar per-sample loop alongside for comparison.
 fn bench_predictor_inference(c: &mut Criterion) {
     let fx = Fixture::new();
     let mut g = c.benchmark_group("predictor_inference");
@@ -56,8 +57,20 @@ fn bench_predictor_inference(c: &mut Criterion) {
         let batch: Vec<Vec<f64>> = (0..ways)
             .map(|i| fx.sample_group(20 + 9 * i).features(&fx.lib))
             .collect();
-        g.bench_with_input(BenchmarkId::from_parameter(ways), &batch, |b, batch| {
-            b.iter(|| black_box(fx.mlp.predict_batch(black_box(batch))))
+        let flat: Vec<f64> = batch.iter().flatten().copied().collect();
+        g.bench_with_input(BenchmarkId::new("batched", ways), &flat, |b, flat| {
+            let mut out = Vec::with_capacity(ways);
+            b.iter(|| {
+                fx.mlp.predict_into(black_box(flat), ways, &mut out);
+                black_box(&out);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("scalar", ways), &batch, |b, batch| {
+            b.iter(|| {
+                for row in batch {
+                    black_box(fx.mlp.predict_one_scalar(black_box(row)));
+                }
+            })
         });
     }
     g.finish();

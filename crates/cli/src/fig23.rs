@@ -62,16 +62,29 @@ pub fn run(opts: &Options) {
     let sets: Vec<Vec<ModelId>> = all_pairs().iter().map(|p| p.to_vec()).collect();
     let mlp = ensure_predictor("unified_a100", &sets, &lib, &gpu, opts);
 
-    let mut csv = CsvWriter::create(opts.csv_path("fig23"), &["ways", "latency_ms"]).expect("csv");
+    let mut csv = CsvWriter::create(
+        opts.csv_path("fig23"),
+        &["ways", "latency_ms", "scalar_ms", "speedup"],
+    )
+    .expect("csv");
     println!("Fig. 23 — one batched prediction round vs search ways (measured on this host)");
     for ways in 1..=16usize {
         let batch = candidate_batch(&lib, ways);
+        let flat: Vec<f64> = batch.iter().flatten().copied().collect();
+        let mut out = Vec::with_capacity(ways);
         let ms = time_ms(301, || {
-            let out = mlp.predict_batch(&batch);
-            std::hint::black_box(out);
+            mlp.predict_into(&flat, ways, &mut out);
+            std::hint::black_box(&out);
         });
-        csv.write_record(&ways.to_string(), &[ms]).expect("row");
-        println!("  {ways:>2} ways: {ms:.4} ms");
+        // The pre-batching per-sample loop, for the scalar-vs-batched gap.
+        let scalar_ms = time_ms(301, || {
+            for row in &batch {
+                std::hint::black_box(mlp.predict_one_scalar(std::hint::black_box(row)));
+            }
+        });
+        csv.write_record(&ways.to_string(), &[ms, scalar_ms, scalar_ms / ms])
+            .expect("row");
+        println!("  {ways:>2} ways: batched {ms:.4} ms, scalar {scalar_ms:.4} ms ({:.2}x)", scalar_ms / ms);
     }
     csv.flush().expect("flush");
     println!("  (paper: 0.066 ms at 1 way -> ~0.088 ms, flat beyond 2 ways)");

@@ -21,7 +21,11 @@
 use crate::group::{PlannedEntry, PlannedGroup};
 use crate::query::Query;
 use dnn_models::ModelLibrary;
-use predictor::{GroupEntry, GroupSpec, LatencyModel, MAX_COLOCATED};
+use predictor::features::SLOT_WIDTH;
+use predictor::{
+    encode_features, feature_slot_of, GroupEntry, LatencyModel, FEATURE_DIM, MAX_COLOCATED,
+    MODEL_SLOT_BASE,
+};
 
 /// Result of one group search.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,44 +39,39 @@ pub enum SearchResult {
     },
 }
 
-/// Candidate group under construction: head + `full` queries + optional
-/// partial prefix of one more.
-fn candidate_spec(
-    queries: &[&Query],
-    full: usize,
-    partial_ops: usize,
-    lib: &ModelLibrary,
-) -> GroupSpec {
-    let mut entries: Vec<GroupEntry> = Vec::with_capacity(full + 2);
-    for q in &queries[..=full] {
-        entries.push(GroupEntry {
-            model: q.model,
-            op_start: q.next_op,
-            op_end: q.n_ops,
-            input: q.input,
-        });
-    }
-    if partial_ops > 0 {
-        let q = queries[full + 1];
-        entries.push(GroupEntry {
-            model: q.model,
-            op_start: q.next_op,
-            op_end: q.next_op + partial_ops,
-            input: q.input,
-        });
-    }
-    GroupSpec::new(entries, lib)
+/// Reusable buffers for one search: candidate entries, one
+/// `ways × FEATURE_DIM` feature matrix fed straight to
+/// [`LatencyModel::predict_into`], the prediction output, and the level-2
+/// probe points. Allocated once per [`plan_group`] call (capacity bounded
+/// by `ways`), then reused across every prediction round — the per-probe
+/// path allocates nothing.
+struct SearchBuffers {
+    entries: Vec<GroupEntry>,
+    features: Vec<f64>,
+    preds: Vec<f64>,
+    probes: Vec<usize>,
 }
 
-fn predict_batch(
-    specs: &[GroupSpec],
-    model: &dyn LatencyModel,
-    lib: &ModelLibrary,
-    rounds: &mut usize,
-) -> Vec<f64> {
-    *rounds += 1;
-    let xs: Vec<Vec<f64>> = specs.iter().map(|s| s.features(lib)).collect();
-    model.predict_batch(&xs)
+impl SearchBuffers {
+    fn new(ways: usize) -> Self {
+        let rows = ways.max(MAX_COLOCATED);
+        Self {
+            entries: Vec::with_capacity(MAX_COLOCATED),
+            features: vec![0.0; rows * FEATURE_DIM],
+            preds: Vec::with_capacity(rows),
+            probes: Vec::with_capacity(ways),
+        }
+    }
+}
+
+/// The `GroupEntry` scheduling all remaining operators of `q`.
+fn full_entry(q: &Query) -> GroupEntry {
+    GroupEntry {
+        model: q.model,
+        op_start: q.next_op,
+        op_end: q.n_ops,
+        input: q.input,
+    }
 }
 
 /// Run the multi-way search.
@@ -91,16 +90,35 @@ pub fn plan_group(
     assert!(ways >= 1, "need at least one search way");
     debug_assert!(queries.iter().all(|q| !q.is_complete()));
     let mut rounds = 0;
+    let mut bufs = SearchBuffers::new(ways);
 
-    // Level 1: head alone, then head + 1 full, + 2 full, ... in one batch
-    // (at most MAX_COLOCATED candidates exist).
+    // Level 1: head alone, then head + 1 full, + 2 full, ... probed in
+    // batches of `ways` (at most MAX_COLOCATED candidates exist). Each
+    // candidate j extends candidate j-1 by one full entry; the shared
+    // prefix lives in `bufs.entries` and each candidate is encoded into
+    // its own row of the feature matrix.
     let max_full = (queries.len() - 1).min(MAX_COLOCATED - 1);
-    let candidates: Vec<GroupSpec> = (0..=max_full)
-        .map(|j| candidate_spec(queries, j, 0, lib))
-        .collect();
-    let mut level1 = Vec::with_capacity(candidates.len());
-    for chunk in candidates.chunks(ways.max(1)) {
-        level1.extend(predict_batch(chunk, model, lib, &mut rounds));
+    let mut level1 = [0.0f64; MAX_COLOCATED];
+    {
+        let mut next = 0usize; // next candidate index to encode
+        let mut done = 0usize; // candidates already predicted
+        while done <= max_full {
+            let mut rows = 0;
+            while next <= max_full && rows < ways {
+                bufs.entries.push(full_entry(queries[next]));
+                encode_features(
+                    &bufs.entries,
+                    lib,
+                    &mut bufs.features[rows * FEATURE_DIM..(rows + 1) * FEATURE_DIM],
+                );
+                next += 1;
+                rows += 1;
+            }
+            rounds += 1;
+            model.predict_into(&bufs.features[..rows * FEATURE_DIM], rows, &mut bufs.preds);
+            level1[done..done + rows].copy_from_slice(&bufs.preds);
+            done += rows;
+        }
     }
     if level1[0] > budget_ms {
         return SearchResult::Infeasible {
@@ -110,7 +128,7 @@ pub fn plan_group(
     // Largest prefix of full inclusions that fits.
     let mut best_full = 0;
     let mut best_pred = level1[0];
-    for (j, &p) in level1.iter().enumerate().skip(1) {
+    for (j, &p) in level1.iter().enumerate().take(max_full + 1).skip(1) {
         if p <= budget_ms {
             best_full = j;
             best_pred = p;
@@ -120,10 +138,30 @@ pub fn plan_group(
     }
 
     // Level 2: m-ary search inside the first query that did not fit fully.
+    // Group membership is now fixed (head + best_full full entries + one
+    // partial entry); only the partial entry's op_end differs between
+    // probes. Encode the shared prefix once into row 0, then per probe
+    // copy the template and patch the single normalised op_end feature.
     let mut partial_ops = 0;
     if best_full < max_full {
         let next_q = queries[best_full + 1];
         let rem = next_q.remaining_ops();
+
+        bufs.entries.truncate(best_full + 1);
+        let mut partial = full_entry(next_q);
+        partial.op_end = partial.op_start; // placeholder; patched per probe
+        bufs.entries.push(partial);
+        let template_base = {
+            let (template, rest) = bufs.features.split_at_mut(FEATURE_DIM);
+            encode_features(&bufs.entries, lib, template);
+            // Rows 1.. start as copies of the template.
+            for row in rest.chunks_exact_mut(FEATURE_DIM) {
+                row.copy_from_slice(template);
+            }
+            MODEL_SLOT_BASE + feature_slot_of(&bufs.entries, next_q.model) * SLOT_WIDTH
+        };
+        let n_ops_norm = lib.graph(next_q.model, next_q.input).len() as f64;
+
         // c = 0 is feasible (it is `best_full`); c = rem is known infeasible.
         let mut lo = 0usize;
         let mut hi = rem;
@@ -131,24 +169,29 @@ pub fn plan_group(
         while hi - lo > 1 {
             // `ways` probe points evenly spaced in (lo, hi).
             let span = hi - lo;
-            let mut probes: Vec<usize> = (1..=ways)
-                .map(|i| lo + (span * i) / (ways + 1))
-                .filter(|&c| c > lo && c < hi)
-                .collect();
-            probes.dedup();
-            if probes.is_empty() {
-                probes.push(lo + span / 2);
+            bufs.probes.clear();
+            bufs.probes.extend(
+                (1..=ways)
+                    .map(|i| lo + (span * i) / (ways + 1))
+                    .filter(|&c| c > lo && c < hi),
+            );
+            bufs.probes.dedup();
+            if bufs.probes.is_empty() {
+                bufs.probes.push(lo + span / 2);
             }
-            let specs: Vec<GroupSpec> = probes
-                .iter()
-                .map(|&c| candidate_spec(queries, best_full, c, lib))
-                .collect();
-            let preds = predict_batch(&specs, model, lib, &mut rounds);
+            // Patch only the partial slot's op_end feature per probe.
+            for (row, &c) in bufs.probes.iter().enumerate() {
+                bufs.features[row * FEATURE_DIM + template_base + 1] =
+                    (next_q.next_op + c) as f64 / n_ops_norm;
+            }
+            let rows = bufs.probes.len();
+            rounds += 1;
+            model.predict_into(&bufs.features[..rows * FEATURE_DIM], rows, &mut bufs.preds);
             // Narrow to the widest feasible probe.
             let mut new_lo = lo;
             let mut new_lo_pred = lo_pred;
             let mut new_hi = hi;
-            for (&c, &p) in probes.iter().zip(&preds) {
+            for (&c, &p) in bufs.probes.iter().zip(&bufs.preds) {
                 if p <= budget_ms {
                     if c > new_lo {
                         new_lo = c;
@@ -336,6 +379,196 @@ mod tests {
             _ => panic!(),
         };
         assert!(rounds_of(8) <= rounds_of(2));
+    }
+
+    /// The pre-refactor search, kept verbatim as a golden reference: it
+    /// materialises a fresh `GroupSpec` and feature `Vec` per probe. The
+    /// buffered hot path must report byte-identical plans and round counts.
+    mod reference {
+        use super::super::*;
+        use predictor::GroupSpec;
+
+        fn candidate_spec(
+            queries: &[&Query],
+            full: usize,
+            partial_ops: usize,
+            lib: &ModelLibrary,
+        ) -> GroupSpec {
+            let mut entries: Vec<GroupEntry> = Vec::with_capacity(full + 2);
+            for q in &queries[..=full] {
+                entries.push(GroupEntry {
+                    model: q.model,
+                    op_start: q.next_op,
+                    op_end: q.n_ops,
+                    input: q.input,
+                });
+            }
+            if partial_ops > 0 {
+                let q = queries[full + 1];
+                entries.push(GroupEntry {
+                    model: q.model,
+                    op_start: q.next_op,
+                    op_end: q.next_op + partial_ops,
+                    input: q.input,
+                });
+            }
+            GroupSpec::new(entries, lib)
+        }
+
+        fn predict_batch(
+            specs: &[GroupSpec],
+            model: &dyn LatencyModel,
+            lib: &ModelLibrary,
+            rounds: &mut usize,
+        ) -> Vec<f64> {
+            *rounds += 1;
+            let xs: Vec<Vec<f64>> = specs.iter().map(|s| s.features(lib)).collect();
+            model.predict_batch(&xs)
+        }
+
+        pub fn plan_group(
+            queries: &[&Query],
+            budget_ms: f64,
+            model: &dyn LatencyModel,
+            lib: &ModelLibrary,
+            ways: usize,
+        ) -> SearchResult {
+            assert!(!queries.is_empty(), "need at least one query");
+            assert!(ways >= 1, "need at least one search way");
+            let mut rounds = 0;
+
+            let max_full = (queries.len() - 1).min(MAX_COLOCATED - 1);
+            let candidates: Vec<GroupSpec> = (0..=max_full)
+                .map(|j| candidate_spec(queries, j, 0, lib))
+                .collect();
+            let mut level1 = Vec::with_capacity(candidates.len());
+            for chunk in candidates.chunks(ways.max(1)) {
+                level1.extend(predict_batch(chunk, model, lib, &mut rounds));
+            }
+            if level1[0] > budget_ms {
+                return SearchResult::Infeasible {
+                    prediction_rounds: rounds,
+                };
+            }
+            let mut best_full = 0;
+            let mut best_pred = level1[0];
+            for (j, &p) in level1.iter().enumerate().skip(1) {
+                if p <= budget_ms {
+                    best_full = j;
+                    best_pred = p;
+                } else {
+                    break;
+                }
+            }
+
+            let mut partial_ops = 0;
+            if best_full < max_full {
+                let next_q = queries[best_full + 1];
+                let rem = next_q.remaining_ops();
+                let mut lo = 0usize;
+                let mut hi = rem;
+                let mut lo_pred = best_pred;
+                while hi - lo > 1 {
+                    let span = hi - lo;
+                    let mut probes: Vec<usize> = (1..=ways)
+                        .map(|i| lo + (span * i) / (ways + 1))
+                        .filter(|&c| c > lo && c < hi)
+                        .collect();
+                    probes.dedup();
+                    if probes.is_empty() {
+                        probes.push(lo + span / 2);
+                    }
+                    let specs: Vec<GroupSpec> = probes
+                        .iter()
+                        .map(|&c| candidate_spec(queries, best_full, c, lib))
+                        .collect();
+                    let preds = predict_batch(&specs, model, lib, &mut rounds);
+                    let mut new_lo = lo;
+                    let mut new_lo_pred = lo_pred;
+                    let mut new_hi = hi;
+                    for (&c, &p) in probes.iter().zip(&preds) {
+                        if p <= budget_ms {
+                            if c > new_lo {
+                                new_lo = c;
+                                new_lo_pred = p;
+                            }
+                        } else if c < new_hi {
+                            new_hi = c;
+                        }
+                    }
+                    if new_lo == lo && new_hi == hi {
+                        break;
+                    }
+                    lo = new_lo;
+                    lo_pred = new_lo_pred;
+                    hi = new_hi.max(lo + 1);
+                }
+                partial_ops = lo;
+                best_pred = lo_pred;
+            }
+
+            let mut entries: Vec<PlannedEntry> = queries[..=best_full]
+                .iter()
+                .map(|q| PlannedEntry {
+                    query_id: q.id,
+                    op_start: q.next_op,
+                    op_end: q.n_ops,
+                })
+                .collect();
+            if partial_ops > 0 {
+                let q = queries[best_full + 1];
+                entries.push(PlannedEntry {
+                    query_id: q.id,
+                    op_start: q.next_op,
+                    op_end: q.next_op + partial_ops,
+                });
+            }
+            SearchResult::Planned(PlannedGroup {
+                entries,
+                predicted_ms: best_pred,
+                prediction_rounds: rounds,
+            })
+        }
+    }
+
+    #[test]
+    fn golden_matches_prerefactor_reference() {
+        let lib = lib();
+        let fixtures: Vec<Vec<Query>> = vec![
+            vec![query(0, ModelId::ResNet50, 30)],
+            vec![query(0, ModelId::ResNet50, 0)],
+            vec![query(0, ModelId::ResNet50, 100), query(1, ModelId::ResNet152, 0)],
+            vec![
+                query(0, ModelId::ResNet50, 0),
+                query(1, ModelId::Bert, 0),
+                query(2, ModelId::Vgg16, 0),
+            ],
+            vec![
+                query(0, ModelId::ResNet50, 0),
+                query(1, ModelId::ResNet101, 0),
+                query(2, ModelId::ResNet152, 0),
+                query(3, ModelId::Bert, 0),
+                query(4, ModelId::Vgg16, 0),
+            ],
+        ];
+        let budgets = [2.0, 5.0, 7.0, 25.0, 100.0];
+        for qs in &fixtures {
+            let refs: Vec<&Query> = qs.iter().collect();
+            for &budget in &budgets {
+                for ways in [1usize, 2, 3, 4, 8, 16] {
+                    for unit in [0.5, 10.0] {
+                        let model = SpanModel { ms_per_unit_span: unit };
+                        let got = plan_group(&refs, budget, &model, &lib, ways);
+                        let want = reference::plan_group(&refs, budget, &model, &lib, ways);
+                        assert_eq!(
+                            got, want,
+                            "divergence: {} queries, budget {budget}, ways {ways}, unit {unit}",
+                            refs.len()
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -63,43 +63,101 @@ pub struct GroupSpec {
     pub entries: Vec<GroupEntry>,
 }
 
-impl GroupSpec {
-    /// Create a group, validating entry count, model uniqueness and ranges.
-    pub fn new(entries: Vec<GroupEntry>, lib: &ModelLibrary) -> GroupSpec {
-        assert!(
-            !entries.is_empty() && entries.len() <= MAX_COLOCATED,
-            "a group holds 1..={MAX_COLOCATED} entries"
-        );
+/// Write the Fig. 8 feature vector for `entries` into `out` without
+/// allocating. `out` must hold exactly [`FEATURE_DIM`] values; every slot
+/// is overwritten (unused slots are zeroed), so the buffer can be reused
+/// across candidates — this is the multi-way search's per-probe encoder.
+pub fn encode_features(entries: &[GroupEntry], lib: &ModelLibrary, out: &mut [f64]) {
+    assert_eq!(out.len(), FEATURE_DIM, "feature buffer has the wrong size");
+    assert!(
+        !entries.is_empty() && entries.len() <= MAX_COLOCATED,
+        "a group holds 1..={MAX_COLOCATED} entries"
+    );
+    out.fill(0.0);
+    // Slots in model-index order, as the paper's layout prescribes. The
+    // entry count is at most MAX_COLOCATED (4): an insertion sort over a
+    // stack-resident index array beats allocating and sorting a Vec.
+    let mut order = [0usize; MAX_COLOCATED];
+    for (i, slot) in order.iter_mut().enumerate().take(entries.len()) {
+        *slot = i;
+    }
+    let order = &mut order[..entries.len()];
+    for i in 1..order.len() {
+        let mut j = i;
+        while j > 0 && entries[order[j - 1]].model.index() > entries[order[j]].model.index() {
+            order.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+    for (slot, &idx) in order.iter().enumerate() {
+        let e = &entries[idx];
+        out[e.model.index()] = 1.0;
+        let n_ops = lib.graph(e.model, e.input).len() as f64;
+        let base = MODEL_SLOT_BASE + slot * SLOT_WIDTH;
+        out[base] = e.op_start as f64 / n_ops;
+        out[base + 1] = e.op_end as f64 / n_ops;
+        out[base + 2] = f64::from(e.input.batch) / 32.0;
+        out[base + 3] = f64::from(e.input.seq) / 64.0;
+    }
+}
+
+/// Debug-build validation of group entries: operator ranges within the
+/// model graph and pairwise-distinct models (checked with a bitmask — one
+/// O(n) pass, no allocation). Compiled out of release builds, where the
+/// search constructs thousands of candidates per second.
+fn debug_assert_valid_entries(entries: &[GroupEntry], lib: &ModelLibrary) {
+    if cfg!(debug_assertions) {
+        let mut seen = 0u32;
         for (i, e) in entries.iter().enumerate() {
             let n_ops = lib.graph(e.model, e.input).len();
-            assert!(
+            debug_assert!(
                 e.op_start <= e.op_end && e.op_end <= n_ops,
                 "entry {i}: invalid range {}..{} of {n_ops}",
                 e.op_start,
                 e.op_end
             );
-            for other in &entries[..i] {
-                assert!(other.model != e.model, "duplicate model {:?}", e.model);
-            }
+            let bit = 1u32 << e.model.index();
+            debug_assert!(seen & bit == 0, "duplicate model {:?}", e.model);
+            seen |= bit;
         }
+    }
+}
+
+/// The slot index (0-based, in the Fig. 8 layout) that `model` occupies
+/// among `entries`: its rank by model index. Lets the search patch a
+/// single entry's features in place between probes.
+///
+/// # Panics
+/// Panics when `model` is not among `entries`.
+pub fn feature_slot_of(entries: &[GroupEntry], model: ModelId) -> usize {
+    assert!(
+        entries.iter().any(|e| e.model == model),
+        "model {model:?} not in group"
+    );
+    entries
+        .iter()
+        .filter(|e| e.model.index() < model.index())
+        .count()
+}
+
+impl GroupSpec {
+    /// Create a group. Structural validation (entry count, model
+    /// uniqueness, operator ranges) is a `debug_assert!`-only check: the
+    /// scheduler's search constructs specs in its hot path and must not
+    /// pay an O(n²) scan per candidate in release builds.
+    pub fn new(entries: Vec<GroupEntry>, lib: &ModelLibrary) -> GroupSpec {
+        assert!(
+            !entries.is_empty() && entries.len() <= MAX_COLOCATED,
+            "a group holds 1..={MAX_COLOCATED} entries"
+        );
+        debug_assert_valid_entries(&entries, lib);
         GroupSpec { entries }
     }
 
     /// Encode as the Fig. 8 feature vector.
     pub fn features(&self, lib: &ModelLibrary) -> Vec<f64> {
         let mut x = vec![0.0; FEATURE_DIM];
-        // Slots in model-index order, as the paper's layout prescribes.
-        let mut sorted: Vec<&GroupEntry> = self.entries.iter().collect();
-        sorted.sort_by_key(|e| e.model.index());
-        for (slot, e) in sorted.iter().enumerate() {
-            x[e.model.index()] = 1.0;
-            let n_ops = lib.graph(e.model, e.input).len() as f64;
-            let base = MODEL_SLOT_BASE + slot * SLOT_WIDTH;
-            x[base] = e.op_start as f64 / n_ops;
-            x[base + 1] = e.op_end as f64 / n_ops;
-            x[base + 2] = f64::from(e.input.batch) / 32.0;
-            x[base + 3] = f64::from(e.input.seq) / 64.0;
-        }
+        encode_features(&self.entries, lib, &mut x);
         x
     }
 
@@ -211,6 +269,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "duplicate model")]
     fn duplicate_models_rejected() {
         let lib = lib();
@@ -221,6 +280,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "invalid range")]
     fn bad_range_rejected() {
         let lib = lib();

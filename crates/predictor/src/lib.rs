@@ -30,7 +30,10 @@ pub use affinity::{
     overlap_affinity, peak_affinity, plan_service_groups, PairAffinity, NO_OVERLAP_GAIN,
 };
 pub use dataset::Dataset;
-pub use features::{GroupEntry, GroupSpec, FEATURE_DIM, MAX_COLOCATED, MODEL_SLOT_BASE};
+pub use features::{
+    encode_features, feature_slot_of, GroupEntry, GroupSpec, FEATURE_DIM, MAX_COLOCATED,
+    MODEL_SLOT_BASE, SLOT_WIDTH,
+};
 pub use linreg::LinearRegression;
 pub use mlp::{Mlp, MlpConfig};
 pub use profiler::{profile_group, profile_groups, ProfiledGroup};
@@ -42,7 +45,33 @@ pub trait LatencyModel: Send + Sync {
     /// Predict the group latency (ms) for one Fig. 8 feature vector.
     fn predict_one(&self, x: &[f64]) -> f64;
 
-    /// Predict a batch of candidates at once — the multi-way search path.
+    /// Predict `n` candidates packed row-major in one contiguous buffer
+    /// (`xs.len() == n * dim`), writing the `n` predictions into `out`
+    /// (cleared first). This is the multi-way search hot path: the caller
+    /// reuses both buffers across prediction rounds, so an implementation
+    /// that overrides this can run the whole round allocation-free.
+    ///
+    /// The default shims each row through [`predict_one`].
+    ///
+    /// # Panics
+    /// Panics when `xs.len()` is not a multiple of `n`.
+    ///
+    /// [`predict_one`]: LatencyModel::predict_one
+    fn predict_into(&self, xs: &[f64], n: usize, out: &mut Vec<f64>) {
+        out.clear();
+        if n == 0 {
+            assert!(xs.is_empty(), "rows supplied but n == 0");
+            return;
+        }
+        assert_eq!(xs.len() % n, 0, "xs.len() {} not a multiple of n {n}", xs.len());
+        let dim = xs.len() / n;
+        out.extend(xs.chunks_exact(dim).map(|row| self.predict_one(row)));
+    }
+
+    /// Predict a batch of candidates at once — convenience wrapper over
+    /// [`predict_into`] for callers that hold row vectors.
+    ///
+    /// [`predict_into`]: LatencyModel::predict_into
     fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
         xs.iter().map(|x| self.predict_one(x)).collect()
     }

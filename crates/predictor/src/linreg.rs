@@ -118,6 +118,23 @@ impl LatencyModel for LinearRegression {
         acc.max(0.0)
     }
 
+    fn predict_into(&self, xs: &[f64], n: usize, out: &mut Vec<f64>) {
+        out.clear();
+        if n == 0 {
+            assert!(xs.is_empty(), "rows supplied but n == 0");
+            return;
+        }
+        assert_eq!(xs.len(), n * self.w.len(), "feature dimension mismatch");
+        // One batch × dim mat-vec against the weight vector: y = X·w + b.
+        for row in xs.chunks_exact(self.w.len()) {
+            let mut acc = self.b;
+            for (wi, xi) in self.w.iter().zip(row) {
+                acc += wi * xi;
+            }
+            out.push(acc.max(0.0));
+        }
+    }
+
     fn name(&self) -> &'static str {
         "Linear Regression"
     }

@@ -110,6 +110,125 @@ pub struct Mlp {
     /// Target standardisation.
     y_mean: f64,
     y_std: f64,
+    /// Inference-time weight layout, derived from `layers` at assembly.
+    plan: InferencePlan,
+}
+
+/// Inference-optimised weight layout for the batched forward pass.
+///
+/// Each layer's weights are stored transposed (`in_dim × out_dim`,
+/// contiguous over outputs) so the batched kernel's inner loop is a
+/// sequential axpy over one cache line-friendly row — the GEMM-style
+/// layout the multi-way search's prediction rounds run against. Built once
+/// when the model is assembled (training touches only `Dense::w`).
+#[derive(Debug, Clone, PartialEq)]
+struct InferencePlan {
+    /// Per layer: transposed weights, `wt[i * out_dim + o] = w[o * in_dim + i]`.
+    wt: Vec<Vec<f64>>,
+    /// Widest activation (in elements) across all layers, for sizing the
+    /// batch workspace.
+    max_width: usize,
+    /// Host supports the 4-wide AVX2 axpy kernel (runtime-detected once).
+    use_avx2: bool,
+}
+
+impl InferencePlan {
+    fn build(layers: &[Dense]) -> Self {
+        let wt = layers
+            .iter()
+            .map(|l| {
+                let mut t = vec![0.0; l.w.len()];
+                for o in 0..l.out_dim {
+                    for i in 0..l.in_dim {
+                        t[i * l.out_dim + o] = l.w[o * l.in_dim + i];
+                    }
+                }
+                t
+            })
+            .collect();
+        let max_width = layers
+            .iter()
+            .flat_map(|l| [l.in_dim, l.out_dim])
+            .max()
+            .unwrap_or(1);
+        #[cfg(target_arch = "x86_64")]
+        let use_avx2 = std::arch::is_x86_feature_detected!("avx2");
+        #[cfg(not(target_arch = "x86_64"))]
+        let use_avx2 = false;
+        Self {
+            wt,
+            max_width,
+            use_avx2,
+        }
+    }
+}
+
+/// One dense layer of the batched forward pass: `b[..n*dout] = bias ⊕
+/// a[..n*din] · wt`, rows packed at their layer's stride.
+///
+/// GEMM-style blocking: the input dimension is the outer loop, so one
+/// transposed weight row is loaded once and applied to every batch row
+/// while it is hot in cache. Per output the terms still accumulate in
+/// ascending input order — exactly as [`Dense::forward`] — so batched and
+/// scalar predictions agree bit for bit (the axpy inner loop is
+/// element-wise: vectorising *across* outputs reorders nothing *within*
+/// an output's accumulation chain).
+///
+/// `#[inline(always)]` so the AVX2 wrapper below compiles this exact body
+/// with wider vector instructions enabled.
+#[inline(always)]
+fn layer_kernel(a: &[f64], b: &mut [f64], wt: &[f64], bias: &[f64], n: usize, din: usize) {
+    let dout = bias.len();
+    for row in b[..n * dout].chunks_exact_mut(dout) {
+        row.copy_from_slice(bias);
+    }
+    for i in 0..din {
+        let wrow = &wt[i * dout..(i + 1) * dout];
+        let rows = a[..n * din]
+            .chunks_exact(din)
+            .zip(b[..n * dout].chunks_exact_mut(dout));
+        for (arow, y) in rows {
+            // Fig. 8 vectors are mostly zero (multi-hot bitmap, empty
+            // slots) and so are post-ReLU activations: skipping zero
+            // inputs skips whole weight rows.
+            let xi = arow[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for (yo, &w) in y.iter_mut().zip(wrow) {
+                *yo += xi * w;
+            }
+        }
+    }
+}
+
+/// [`layer_kernel`] compiled with AVX2 enabled (the axpy auto-vectorises
+/// 4-wide). One `target_feature` boundary per *layer*, not per axpy, so
+/// the inner loops inline fully.
+///
+/// # Safety
+/// Caller must have verified AVX2 support (`is_x86_feature_detected!`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn layer_kernel_avx2(a: &[f64], b: &mut [f64], wt: &[f64], bias: &[f64], n: usize, din: usize) {
+    layer_kernel(a, b, wt, bias, n, din);
+}
+
+/// Reusable per-thread workspace for the batched forward pass: two
+/// ping-pong activation buffers plus a packing buffer for the
+/// `predict_batch` convenience path. Thread-local (instead of a lock)
+/// keeps `&Mlp` freely shareable across scheduler threads with zero
+/// contention on the hot path.
+#[derive(Default)]
+struct Workspace {
+    a: Vec<f64>,
+    b: Vec<f64>,
+    packed: Vec<f64>,
+    single: Vec<f64>,
+}
+
+thread_local! {
+    static WORKSPACE: std::cell::RefCell<Workspace> = std::cell::RefCell::new(Workspace::default());
 }
 
 /// Adam hyper-parameters.
@@ -244,11 +363,101 @@ impl Mlp {
                 }
             }
         }
+        Mlp::assemble(layers, y_mean, y_std)
+    }
+
+    /// Finalise a model from trained layers: derives the inference plan
+    /// (transposed weight layout) that the batched forward pass uses.
+    fn assemble(layers: Vec<Dense>, y_mean: f64, y_std: f64) -> Mlp {
+        let plan = InferencePlan::build(&layers);
         Mlp {
             layers,
             y_mean,
             y_std,
+            plan,
         }
+    }
+
+    /// The batched forward pass: `n` rows packed in `xs`, predictions
+    /// appended to `out` (which the caller has cleared). Runs entirely in
+    /// the provided workspace buffers — no allocation once they are warm.
+    ///
+    /// Numerically identical to the per-sample path: for every output the
+    /// terms accumulate in ascending input order, exactly as
+    /// [`Dense::forward`] does, so batched and scalar predictions agree
+    /// bit for bit.
+    fn forward_rows(&self, xs: &[f64], n: usize, ws: &mut Workspace, out: &mut Vec<f64>) {
+        let in_dim = self.layers[0].in_dim;
+        assert_eq!(
+            xs.len(),
+            n * in_dim,
+            "feature dimension mismatch — retrain the model (stale cache?)"
+        );
+        if n == 0 {
+            return;
+        }
+        // Both ping-pong buffers stay sized to the widest layer: rows are
+        // packed at the current layer's stride inside them, and the bias
+        // initialisation below overwrites every cell that will be read, so
+        // no per-layer clear/zero-fill is needed.
+        let width = self.plan.max_width;
+        if ws.a.len() < n * width {
+            ws.a.resize(n * width, 0.0);
+            ws.b.resize(n * width, 0.0);
+        }
+        ws.a[..xs.len()].copy_from_slice(xs);
+        let n_layers = self.layers.len();
+        for (l, (layer, wt)) in self.layers.iter().zip(&self.plan.wt).enumerate() {
+            let (din, dout) = (layer.in_dim, layer.out_dim);
+            #[cfg(target_arch = "x86_64")]
+            if self.plan.use_avx2 {
+                // SAFETY: `use_avx2` is set only after runtime feature
+                // detection.
+                unsafe { layer_kernel_avx2(&ws.a, &mut ws.b, wt, &layer.b, n, din) };
+            } else {
+                layer_kernel(&ws.a, &mut ws.b, wt, &layer.b, n, din);
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            layer_kernel(&ws.a, &mut ws.b, wt, &layer.b, n, din);
+            if l + 1 < n_layers {
+                for v in ws.b[..n * dout].iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            std::mem::swap(&mut ws.a, &mut ws.b);
+        }
+        // The output layer has width 1: `a` now holds one scalar per row.
+        out.extend(
+            ws.a[..n]
+                .iter()
+                .map(|&z| (z * self.y_std + self.y_mean).max(0.0)),
+        );
+    }
+
+    /// The pre-batching scalar forward pass: one sample, fresh `Vec`s per
+    /// layer. Kept as the reference implementation — benches compare the
+    /// batched engine against it, and the property tests use it as an
+    /// allocation-independent oracle. Accumulates in the same order as the
+    /// batched kernel, so both agree bit for bit.
+    pub fn predict_one_scalar(&self, x: &[f64]) -> f64 {
+        assert_eq!(
+            x.len(),
+            self.layers[0].in_dim,
+            "feature dimension mismatch — retrain the model (stale cache?)"
+        );
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        let n_layers = self.layers.len();
+        for (l, layer) in self.layers.iter().enumerate() {
+            layer.forward(&cur, &mut next);
+            if l + 1 < n_layers {
+                for v in next.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        (cur[0] * self.y_std + self.y_mean).max(0.0)
     }
 
     /// Layer widths `[in, hidden..., 1]` (for persistence and stats).
@@ -300,11 +509,7 @@ impl Mlp {
         if off != params.len() {
             return Err("parameter blob too long".into());
         }
-        Ok(Mlp {
-            layers,
-            y_mean,
-            y_std,
-        })
+        Ok(Mlp::assemble(layers, y_mean, y_std))
     }
 
     pub(crate) fn raw_params(&self) -> Vec<f64> {
@@ -319,24 +524,38 @@ impl Mlp {
 
 impl LatencyModel for Mlp {
     fn predict_one(&self, x: &[f64]) -> f64 {
-        assert_eq!(
-            x.len(),
-            self.layers[0].in_dim,
-            "feature dimension mismatch — retrain the model (stale cache?)"
-        );
-        let mut cur = x.to_vec();
-        let mut next = Vec::new();
-        let n = self.layers.len();
-        for (l, layer) in self.layers.iter().enumerate() {
-            layer.forward(&cur, &mut next);
-            if l + 1 < n {
-                for v in next.iter_mut() {
-                    *v = v.max(0.0);
-                }
+        WORKSPACE.with(|cell| {
+            let ws = &mut *cell.borrow_mut();
+            let mut single = std::mem::take(&mut ws.single);
+            single.clear();
+            self.forward_rows(x, 1, ws, &mut single);
+            let y = single[0];
+            ws.single = single;
+            y
+        })
+    }
+
+    fn predict_into(&self, xs: &[f64], n: usize, out: &mut Vec<f64>) {
+        out.clear();
+        WORKSPACE.with(|cell| {
+            let ws = &mut *cell.borrow_mut();
+            self.forward_rows(xs, n, ws, out);
+        });
+    }
+
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        WORKSPACE.with(|cell| {
+            let ws = &mut *cell.borrow_mut();
+            let mut packed = std::mem::take(&mut ws.packed);
+            packed.clear();
+            for x in xs {
+                packed.extend_from_slice(x);
             }
-            std::mem::swap(&mut cur, &mut next);
-        }
-        (cur[0] * self.y_std + self.y_mean).max(0.0)
+            let mut out = Vec::with_capacity(xs.len());
+            self.forward_rows(&packed, xs.len(), ws, &mut out);
+            ws.packed = packed;
+            out
+        })
     }
 
     fn name(&self) -> &'static str {

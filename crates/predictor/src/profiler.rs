@@ -34,16 +34,15 @@ pub fn profile_group(
 ) -> ProfiledGroup {
     assert!(runs > 0);
     let streams = spec.streams(lib);
-    let mut sum = 0.0;
-    let mut sum_sq = 0.0;
-    for r in 0..runs {
-        let t = run_group(gpu, noise, fork_seed(seed, r as u64), &streams).total_ms;
-        sum += t;
-        sum_sq += t * t;
-    }
+    let samples: Vec<f64> = (0..runs)
+        .map(|r| run_group(gpu, noise, fork_seed(seed, r as u64), &streams).total_ms)
+        .collect();
     let n = runs as f64;
-    let mean = sum / n;
-    let var = (sum_sq / n - mean * mean).max(0.0);
+    let mean = samples.iter().sum::<f64>() / n;
+    // Centered two-pass variance: the naive sum-of-squares form loses all
+    // significant digits when the spread is tiny relative to the mean
+    // (noise-free runs must report exactly zero).
+    let var = samples.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / n;
     ProfiledGroup {
         spec: spec.clone(),
         mean_ms: mean,

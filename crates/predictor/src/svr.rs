@@ -98,6 +98,20 @@ impl LatencyModel for LinearSvr {
         (z * self.y_std + self.y_mean).max(0.0)
     }
 
+    fn predict_into(&self, xs: &[f64], n: usize, out: &mut Vec<f64>) {
+        out.clear();
+        if n == 0 {
+            assert!(xs.is_empty(), "rows supplied but n == 0");
+            return;
+        }
+        assert_eq!(xs.len(), n * self.w.len(), "feature dimension mismatch");
+        // One batch × dim mat-vec: z = X·w + b, destandardised per row.
+        for row in xs.chunks_exact(self.w.len()) {
+            let z: f64 = self.w.iter().zip(row).map(|(wi, xi)| wi * xi).sum::<f64>() + self.b;
+            out.push((z * self.y_std + self.y_mean).max(0.0));
+        }
+    }
+
     fn name(&self) -> &'static str {
         "SVM"
     }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Quick perf regression gate for the search-path prediction round.
+#
+# Re-measures the batched MLP inference microbench in quick mode and fails
+# (exit 1) if ns/prediction regressed by more than 2x against the committed
+# BENCH_search.json baseline. Regenerate the baseline after an intentional
+# perf change with:
+#
+#   cargo run --release -p bench --bin search_bench
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-BENCH_search.json}"
+if [[ ! -f "$BASELINE" ]]; then
+    echo "baseline $BASELINE not found — generate it first:" >&2
+    echo "  cargo run --release -p bench --bin search_bench" >&2
+    exit 2
+fi
+
+exec cargo run --release -q -p bench --bin search_bench -- --quick --check "$BASELINE"

@@ -3,7 +3,10 @@
 
 use dnn_models::{ModelId, ModelLibrary, QueryInput, BATCH_CHOICES, SEQ_CHOICES};
 use gpu_sim::{run_group, GpuSpec, KernelDesc, NoiseModel};
-use predictor::{sample_group, LatencyModel, FEATURE_DIM};
+use predictor::{
+    sample_group, Dataset, LatencyModel, LinearRegression, LinearSvr, Mlp, MlpConfig, SvrConfig,
+    FEATURE_DIM,
+};
 use proptest::prelude::*;
 use std::sync::Arc;
 use std::sync::OnceLock;
@@ -12,6 +15,27 @@ use workload::SeededRng;
 fn library() -> &'static Arc<ModelLibrary> {
     static LIB: OnceLock<Arc<ModelLibrary>> = OnceLock::new();
     LIB.get_or_init(|| Arc::new(ModelLibrary::new()))
+}
+
+/// One quickly-trained model of each predictor family, over
+/// `FEATURE_DIM`-shaped synthetic data (for the batch-consistency
+/// property).
+fn predictors() -> &'static Vec<Box<dyn LatencyModel>> {
+    static MODELS: OnceLock<Vec<Box<dyn LatencyModel>>> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        let mut rng = SeededRng::new(42);
+        let mut d = Dataset::new();
+        for _ in 0..200 {
+            let x: Vec<f64> = (0..FEATURE_DIM).map(|_| rng.f64()).collect();
+            let y = 2.0 + x.iter().sum::<f64>();
+            d.push(x, y);
+        }
+        vec![
+            Box::new(Mlp::train(&d, &MlpConfig { epochs: 5, ..MlpConfig::default() })),
+            Box::new(LinearRegression::fit(&d, 1e-6)),
+            Box::new(LinearSvr::fit(&d, &SvrConfig { epochs: 10, ..SvrConfig::default() })),
+        ]
+    })
 }
 
 fn arb_kernel() -> impl Strategy<Value = KernelDesc> {
@@ -178,6 +202,33 @@ proptest! {
             abacus_core::SearchResult::Infeasible { .. } => {
                 // Head alone must genuinely exceed the budget.
                 prop_assert!(budget < 30.0 + 1.0);
+            }
+        }
+    }
+
+    /// Batched prediction (`predict_batch`, `predict_into`) is
+    /// interchangeable with per-sample `predict_one` on real Fig. 8
+    /// feature rows, for all three predictor families — the contract the
+    /// multi-way search's buffered hot path relies on.
+    #[test]
+    fn batched_prediction_matches_scalar(seed in 0u64..300, n in 1usize..33) {
+        let lib = library();
+        let mut rng = SeededRng::new(seed);
+        let models = [ModelId::ResNet152, ModelId::Vgg16, ModelId::Bert];
+        let batch: Vec<Vec<f64>> = (0..n)
+            .map(|_| sample_group(&models, lib, &mut rng).features(lib))
+            .collect();
+        let flat: Vec<f64> = batch.iter().flatten().copied().collect();
+        for model in predictors() {
+            let one: Vec<f64> = batch.iter().map(|r| model.predict_one(r)).collect();
+            let via_batch = model.predict_batch(&batch);
+            let mut via_into = Vec::new();
+            model.predict_into(&flat, n, &mut via_into);
+            prop_assert_eq!(via_batch.len(), n);
+            prop_assert_eq!(via_into.len(), n);
+            for i in 0..n {
+                prop_assert!((one[i] - via_batch[i]).abs() <= 1e-9, "{} batch row {i}", model.name());
+                prop_assert!((one[i] - via_into[i]).abs() <= 1e-9, "{} into row {i}", model.name());
             }
         }
     }

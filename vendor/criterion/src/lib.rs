@@ -1,0 +1,239 @@
+//! Offline mini benchmark harness.
+//!
+//! The build container has no cargo registry, so this crate implements the
+//! subset of the `criterion` API the workspace's bench targets use:
+//! [`Criterion::bench_function`], benchmark groups with
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], `black_box`, and
+//! the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up, the per-iteration cost
+//! is estimated, and `sample_size` samples (batches of iterations sized to
+//! be timeable) are collected. The median, minimum and maximum
+//! per-iteration times are printed. No plots, no statistics beyond that —
+//! enough to compare hot paths and to feed `scripts/bench_check.sh`.
+//!
+//! Set `ABACUS_BENCH_QUICK=1` to cut warmup and sample counts for CI-style
+//! smoke runs.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Format a nanosecond quantity the way the reports expect.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("ABACUS_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+/// Timing loop driver handed to the bench closure.
+pub struct Bencher<'a> {
+    sample_size: usize,
+    result: &'a mut Option<Stats>,
+}
+
+/// Per-iteration statistics of one benchmark, nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    pub median_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+}
+
+impl Bencher<'_> {
+    /// Time `f`, adaptively batching iterations so each sample is long
+    /// enough for the OS clock to resolve.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let quick = quick_mode();
+        // Warmup + single-shot estimate.
+        black_box(f());
+        let t0 = Instant::now();
+        black_box(f());
+        let est_ns = t0.elapsed().as_nanos().max(1) as f64;
+        // Aim for ~1 ms per sample (100 µs in quick mode), ≥ 1 iteration.
+        let target_ns = if quick { 1e5 } else { 1e6 };
+        let iters = ((target_ns / est_ns).ceil() as usize).clamp(1, 1_000_000);
+        let samples = if quick {
+            self.sample_size.min(5).max(3)
+        } else {
+            self.sample_size
+        };
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        *self.result = Some(Stats {
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+        });
+    }
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "need at least two samples");
+        self.sample_size = n;
+        self
+    }
+
+    fn run_one(&mut self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut result = None;
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            result: &mut result,
+        };
+        f(&mut b);
+        match result {
+            Some(s) => println!(
+                "{name:<44} time: [{} {} {}]",
+                fmt_ns(s.min_ns),
+                fmt_ns(s.median_ns),
+                fmt_ns(s.max_ns)
+            ),
+            None => println!("{name:<44} (no measurement: closure never called iter)"),
+        }
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Identifier for one parameterised benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        Self { id: p.to_string() }
+    }
+
+    pub fn new<P: std::fmt::Display>(function: &str, p: P) -> Self {
+        Self {
+            id: format!("{function}/{p}"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.c.run_one(&full, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        self.c.run_one(&full, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declare a group of benchmark functions, upstream-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        std::env::set_var("ABACUS_BENCH_QUICK", "1");
+        let mut c = Criterion::default().sample_size(5);
+        let mut ran = false;
+        c.bench_function("smoke/add", |b| {
+            ran = true;
+            b.iter(|| black_box(2u64) + black_box(3u64))
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_with_input() {
+        std::env::set_var("ABACUS_BENCH_QUICK", "1");
+        let mut c = Criterion::default().sample_size(5);
+        let mut g = c.benchmark_group("smoke_group");
+        for n in [1usize, 4] {
+            g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<usize>())
+            });
+        }
+        g.finish();
+    }
+}

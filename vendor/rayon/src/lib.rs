@@ -1,0 +1,146 @@
+//! Offline stand-in for the slice of `rayon` this workspace uses.
+//!
+//! The build container cannot reach a cargo registry, so the workspace
+//! vendors `par_iter()` locally. The returned [`ParIter`] supports the
+//! `enumerate().map().collect()` chain the profiler uses; `collect` fans
+//! the mapped closures out over `std::thread::scope` in contiguous chunks
+//! (one per available core), so profiling campaigns still use the
+//! machine's cores even without upstream rayon's work-stealing pool.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// `.par_iter()` on slices and anything that derefs to one.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowed parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// Enumerated variant of [`ParIter`].
+pub struct ParEnumerate<'a, T> {
+    items: &'a [T],
+}
+
+/// Mapped parallel pipeline; terminal operation is `collect`.
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn enumerate(self) -> ParEnumerate<'a, T> {
+        ParEnumerate { items: self.items }
+    }
+
+    pub fn map<R, F: Fn(&'a T) -> R>(self, f: F) -> ParMap<Self, F> {
+        ParMap { inner: self, f }
+    }
+}
+
+impl<'a, T: Sync> ParEnumerate<'a, T> {
+    pub fn map<R, F: Fn((usize, &'a T)) -> R>(self, f: F) -> ParMap<Self, F> {
+        ParMap { inner: self, f }
+    }
+}
+
+fn threads_for(len: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(len).max(1)
+}
+
+/// Apply `f` to every index of `items` across scoped threads, preserving
+/// input order in the output.
+fn parallel_map_indexed<'a, T: Sync, R: Send>(
+    items: &'a [T],
+    f: impl Fn(usize, &'a T) -> R + Sync,
+) -> Vec<R> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads_for(n);
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (w, dst) in out.chunks_mut(chunk).enumerate() {
+            let base = w * chunk;
+            let src = &items[base..(base + dst.len())];
+            scope.spawn(move || {
+                for (k, (slot, item)) in dst.iter_mut().zip(src).enumerate() {
+                    *slot = Some(f(base + k, item));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("worker filled slot")).collect()
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<ParIter<'a, T>, F> {
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map_indexed(self.inner.items, |_, t| (self.f)(t))
+            .into_iter()
+            .collect()
+    }
+}
+
+impl<'a, T: Sync, R: Send, F: Fn((usize, &'a T)) -> R + Sync> ParMap<ParEnumerate<'a, T>, F> {
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map_indexed(self.inner.items, |i, t| (self.f)((i, t)))
+            .into_iter()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_map_collect() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_indices_line_up() {
+        let xs = vec![10u64, 20, 30, 40, 50];
+        let tagged: Vec<(usize, u64)> = xs.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(tagged, vec![(0, 10), (1, 20), (2, 30), (3, 40), (4, 50)]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let xs: Vec<u32> = Vec::new();
+        let out: Vec<u32> = xs.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}
