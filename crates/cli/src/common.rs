@@ -77,6 +77,10 @@ pub struct Options {
     pub out_dir: PathBuf,
     /// Force predictor retraining even if a cached model exists.
     pub retrain: bool,
+    /// Fan independent experiment cells out over threads. Cell results —
+    /// and therefore the CSVs — are byte-identical to the serial order;
+    /// `--serial` exists for demonstrating exactly that.
+    pub parallel: bool,
 }
 
 impl Default for Options {
@@ -86,6 +90,7 @@ impl Default for Options {
             seed: 2021,
             out_dir: PathBuf::from("results"),
             retrain: false,
+            parallel: true,
         }
     }
 }
@@ -122,7 +127,8 @@ impl Options {
     }
 }
 
-/// Parse `[scale] [--seed N] [--out DIR] [--retrain]` style arguments.
+/// Parse `[scale] [--seed N] [--out DIR] [--retrain] [--serial]` style
+/// arguments.
 pub fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
     let mut it = args.iter();
@@ -132,6 +138,7 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             "--medium" => opts.scale = Scale::Medium,
             "--full" => opts.scale = Scale::Full,
             "--retrain" => opts.retrain = true,
+            "--serial" => opts.parallel = false,
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 opts.seed = v.parse().map_err(|e| format!("bad seed: {e}"))?;
@@ -192,6 +199,66 @@ pub fn ensure_predictor(
 /// Upcast helper.
 pub fn as_model(mlp: &Arc<Mlp>) -> Arc<dyn LatencyModel> {
     mlp.clone()
+}
+
+/// Map `f` over experiment cells, fanned out over threads when
+/// `parallel` — output order always matches input order, and because every
+/// cell derives its own seed, the results are identical either way.
+pub fn map_cells<T: Sync, R: Send>(
+    parallel: bool,
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    if parallel {
+        use rayon::prelude::*;
+        items.par_iter().map(f).collect()
+    } else {
+        items.iter().map(f).collect()
+    }
+}
+
+/// An [`abacus_core::AbacusConfig`] whose prediction-round latency is
+/// calibrated *once* against `model` and pinned. The default config
+/// re-measures it from the wall clock inside every scheduler instance,
+/// which would make each Abacus cell's timing — and hence the CSVs —
+/// irreproducible across runs and between the serial and parallel sweep
+/// paths. The calibrated value is cached on disk next to the predictor
+/// (keyed by `tag` and scale, honouring `--retrain`), so *reruns* of an
+/// experiment — serial or parallel — charge the identical Eq. 3 overhead
+/// and reproduce the CSVs byte for byte.
+pub fn pinned_abacus_config(
+    model: &Arc<Mlp>,
+    tag: &str,
+    opts: &Options,
+) -> abacus_core::AbacusConfig {
+    let cfg = abacus_core::AbacusConfig::default();
+    let path = opts
+        .out_dir
+        .join("models")
+        .join(format!("{tag}_{:?}.round_ms", opts.scale).to_lowercase());
+    if !opts.retrain {
+        if let Some(round_ms) = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|s| s.trim().parse::<f64>().ok())
+            .filter(|v| v.is_finite() && *v > 0.0)
+        {
+            return abacus_core::AbacusConfig {
+                predict_round_ms: Some(round_ms),
+                ..cfg
+            };
+        }
+    }
+    let round_ms = abacus_core::calibrate_predict_round_ms(model.as_ref(), cfg.ways);
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&path, format!("{round_ms}\n")) {
+        eprintln!("[predictor] warning: could not cache round latency: {e}");
+    }
+    abacus_core::AbacusConfig {
+        predict_round_ms: Some(round_ms),
+        ..cfg
+    }
 }
 
 /// Pretty-print a pair label the way the paper's figures do.

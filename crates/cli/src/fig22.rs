@@ -1,7 +1,7 @@
 //! Fig. 22 — cluster-level serving: Abacus + Kubernetes vs Clockwork
 //! replaying a MAF-like trace on 4 nodes × 4 V100 GPUs (§7.6).
 
-use crate::common::{as_model, ensure_predictor, Options};
+use crate::common::{as_model, ensure_predictor, pinned_abacus_config, Options};
 use abacus_metrics::CsvWriter;
 use cluster::{
     build_timeline, cluster_workload, run_cluster, run_cluster_detailed, summarize,
@@ -29,7 +29,8 @@ pub fn run(opts: &Options) {
     let noise = NoiseModel::calibrated();
     let minutes = opts.scale.trace_minutes();
     let trace = synthesize_maf_like(minutes, plateau_qps(opts), opts.seed ^ 0x3A);
-    let cfg = ClusterConfig::paper(trace, opts.seed);
+    let mut cfg = ClusterConfig::paper(trace, opts.seed);
+    cfg.parallel = opts.parallel;
 
     let mlp = ensure_predictor(
         "unified_quad_v100",
@@ -38,6 +39,9 @@ pub fn run(opts: &Options) {
         &v100,
         opts,
     );
+    // Pin the per-round prediction latency so every per-GPU scheduler —
+    // and every rerun — charges the identical Eq. 3 overhead.
+    cfg.abacus = pinned_abacus_config(&mlp, "unified_quad_v100", opts);
 
     let (arrivals, inputs) = cluster_workload(&cfg, &lib);
     let arrival_reqs: Vec<u32> = inputs.iter().map(|i| i.batch).collect();

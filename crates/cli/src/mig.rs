@@ -8,7 +8,7 @@
 //! isolation starves the big models of compute and blows through QoS, while
 //! Abacus's flexible co-location on bigger slices does not.
 
-use crate::common::{as_model, ensure_predictor, pair_label, Options};
+use crate::common::{as_model, ensure_predictor, map_cells, pair_label, pinned_abacus_config, Options};
 use abacus_metrics::{CsvWriter, ServiceStats, Table};
 use dnn_models::{ModelId, ModelLibrary};
 use gpu_sim::{GpuSpec, MigProfile, NoiseModel};
@@ -81,43 +81,67 @@ pub fn run(opts: &Options) {
     let mean_qos: f64 =
         all_cases[0].groups.iter().flatten().map(|&m| qos_of(m)).sum::<f64>() / 4.0;
 
+    // Train every slice geometry's predictor up front (the disk cache is
+    // not safe to populate from concurrent cells), then fan the
+    // independent (case, policy, load, group) runs out over threads.
+    let prepared: Vec<_> = all_cases
+        .iter()
+        .map(|case| {
+            let slice = a100.mig_slice(case.profile);
+            let tag = format!("mig_{}", case.profile.name().replace([' ', '.'], "_"));
+            let mlp = ensure_predictor(&tag, &case.groups.clone(), &lib, &slice, opts);
+            let abacus = pinned_abacus_config(&mlp, &tag, opts);
+            (slice, mlp, abacus)
+        })
+        .collect();
+    let loads = [0.6 * opts.qos_load_total(), 0.6 * opts.peak_load_total()];
+    let cells: Vec<(usize, usize, usize, usize)> = all_cases
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, case)| {
+            (0..PolicyKind::ALL.len()).flat_map(move |pi| {
+                (0..loads.len())
+                    .flat_map(move |li| (0..case.groups.len()).map(move |gi| (ci, pi, li, gi)))
+            })
+        })
+        .collect();
+    let results = map_cells(opts.parallel, &cells, |&(ci, pi, li, gi)| {
+        let case = &all_cases[ci];
+        let (slice, mlp, abacus) = &prepared[ci];
+        let policy = PolicyKind::ALL[pi];
+        let services: Vec<ServiceSpec> = case.groups[gi]
+            .iter()
+            .map(|&m| ServiceSpec {
+                model: m,
+                qos_ms: qos_of(m),
+            })
+            .collect();
+        let cfg = ColocationConfig {
+            qps_per_service: loads[li] / 4.0,
+            horizon_ms: opts.scale.horizon_ms(),
+            seed: opts.seed ^ (gi as u64) << 8,
+            abacus: abacus.clone(),
+            ..ColocationConfig::default()
+        };
+        let pred = (policy == PolicyKind::Abacus).then(|| as_model(mlp));
+        run_with_services(&services, policy, pred, &lib, slice, &noise, &cfg)
+    });
+    let mut by_cell = cells.iter().zip(results);
+
     for case in &all_cases {
-        let slice = a100.mig_slice(case.profile);
-        let sets: Vec<Vec<ModelId>> = case.groups.clone();
-        let tag = format!("mig_{}", case.profile.name().replace([' ', '.'], "_"));
-        let mlp = ensure_predictor(&tag, &sets, &lib, &slice, opts);
         let mut row20 = Vec::new();
         let mut row21 = Vec::new();
-        for policy in PolicyKind::ALL {
+        for _policy in PolicyKind::ALL {
             // Fig. 20 at the QoS load; Fig. 21 at the saturating load.
             // Our simulated MIG slices retain less relative capacity than
             // the paper's testbed (see EXPERIMENTS.md), so the MIG study
             // runs at 60% of the single-GPU loads to stay in the same
             // utilisation regime the paper reports.
-            for (total_qps, out) in [
-                (0.6 * opts.qos_load_total(), &mut row20),
-                (0.6 * opts.peak_load_total(), &mut row21),
-            ] {
+            for out in [&mut row20, &mut row21] {
                 let mut pooled = ServiceStats::new();
                 let mut completed = 0.0;
-                let per_service_qps = total_qps / 4.0;
-                for (gi, group) in case.groups.iter().enumerate() {
-                    let services: Vec<ServiceSpec> = group
-                        .iter()
-                        .map(|&m| ServiceSpec {
-                            model: m,
-                            qos_ms: qos_of(m),
-                        })
-                        .collect();
-                    let cfg = ColocationConfig {
-                        qps_per_service: per_service_qps,
-                        horizon_ms: opts.scale.horizon_ms(),
-                        seed: opts.seed ^ (gi as u64) << 8,
-                        ..ColocationConfig::default()
-                    };
-                    let pred = (policy == PolicyKind::Abacus).then(|| as_model(&mlp));
-                    let r =
-                        run_with_services(&services, policy, pred, &lib, &slice, &noise, &cfg);
+                for _gi in 0..case.groups.len() {
+                    let (_, r) = by_cell.next().expect("cell results cover the grid");
                     completed += r.completed_qps();
                     for s in &r.per_service {
                         pooled.extend_from(s);

@@ -1,12 +1,13 @@
 //! Figs. 18 + 19 — triplet- and quadruplet-wise deployments (§7.4).
 
-use crate::common::{as_model, ensure_predictor, pair_label, Options};
+use crate::common::{as_model, ensure_predictor, map_cells, pair_label, pinned_abacus_config, Options};
 use abacus_metrics::{CsvWriter, Table};
 use dnn_models::{ModelId, ModelLibrary};
 use gpu_sim::{GpuSpec, NoiseModel};
 use predictor::sampling::paper_multiway_sets;
 use serving::{run_colocation, ColocationConfig, PolicyKind};
 use std::sync::Arc;
+use workload::fork_seed;
 
 /// Run both figures: p99 at the QoS load (Fig. 18) and peak throughput at
 /// the saturating load (Fig. 19).
@@ -16,6 +17,7 @@ pub fn run(opts: &Options) {
     let noise = NoiseModel::calibrated();
     let sets: Vec<Vec<ModelId>> = paper_multiway_sets();
     let mlp = ensure_predictor("unified_multiway_a100", &sets, &lib, &gpu, opts);
+    let abacus = pinned_abacus_config(&mlp, "unified_multiway_a100", opts);
 
     let mut csv18 = CsvWriter::create(
         opts.csv_path("fig18"),
@@ -33,24 +35,39 @@ pub fn run(opts: &Options) {
     let mut agg: std::collections::HashMap<usize, ([f64; 4], [f64; 4], [f64; 4], usize)> =
         std::collections::HashMap::new();
 
+    // One cell per (set, load, policy): all independent, with the workload
+    // seed derived per set so every load/policy of a set faces the same
+    // arrival process — safe to fan out without changing the results.
+    let loads = [opts.qos_load_total(), opts.peak_load_total()];
+    let cells: Vec<(usize, usize, PolicyKind)> = (0..sets.len())
+        .flat_map(|row| {
+            (0..loads.len()).flat_map(move |li| PolicyKind::ALL.into_iter().map(move |p| (row, li, p)))
+        })
+        .collect();
+    let results = map_cells(opts.parallel, &cells, |&(row, li, policy)| {
+        let set = &sets[row];
+        let cfg = ColocationConfig {
+            qps_per_service: loads[li] / set.len() as f64,
+            horizon_ms: opts.scale.horizon_ms(),
+            seed: fork_seed(opts.seed, row as u64),
+            abacus: abacus.clone(),
+            ..ColocationConfig::default()
+        };
+        let pred = (policy == PolicyKind::Abacus).then(|| as_model(&mlp));
+        run_colocation(set, policy, pred, &lib, &gpu, &noise, &cfg)
+    });
+    let mut by_cell = cells.iter().zip(results);
+
     for set in &sets {
         let label = pair_label(set);
         let mut p99 = Vec::new();
         let mut viol = Vec::new();
         let mut tput = Vec::new();
-        for (total_qps, out_p99, out_tput) in [
-            (opts.qos_load_total(), true, false),
-            (opts.peak_load_total(), false, true),
-        ] {
-            let cfg = ColocationConfig {
-                qps_per_service: total_qps / set.len() as f64,
-                horizon_ms: opts.scale.horizon_ms(),
-                seed: opts.seed,
-                ..ColocationConfig::default()
-            };
-            for p in PolicyKind::ALL {
-                let pred = (p == PolicyKind::Abacus).then(|| as_model(&mlp));
-                let r = run_colocation(set, p, pred, &lib, &gpu, &noise, &cfg);
+        for (_total_qps, out_p99, out_tput) in
+            [(loads[0], true, false), (loads[1], false, true)]
+        {
+            for _p in PolicyKind::ALL {
+                let (_, r) = by_cell.next().expect("cell results cover the grid");
                 if out_p99 {
                     p99.push(r.normalized_p99());
                     viol.push(r.violation_ratio());

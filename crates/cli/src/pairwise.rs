@@ -6,19 +6,26 @@
 //! throughput at saturating load, and Fig. 16 the Abacus p99 with minimum
 //! inputs under tightened QoS.
 
-use crate::common::{as_model, ensure_predictor, pair_label, Options};
+use crate::common::{as_model, ensure_predictor, map_cells, pair_label, pinned_abacus_config, Options};
 use abacus_metrics::{CsvWriter, Table};
 use dnn_models::{ModelId, ModelLibrary};
 use gpu_sim::{GpuSpec, NoiseModel};
 use predictor::sampling::all_pairs;
 use serving::{run_colocation, ColocationConfig, PolicyKind};
 use std::sync::Arc;
+use workload::fork_seed;
 
 fn pair_sets() -> Vec<Vec<ModelId>> {
     all_pairs().iter().map(|p| p.to_vec()).collect()
 }
 
 /// Shared runner: returns per-pair per-policy results.
+///
+/// Every (pair, policy) cell is independent: the workload seed is derived
+/// per *row* (so all policies of a pair face identical arrivals) and the
+/// Abacus prediction-round latency is calibrated once and pinned, so the
+/// cells can be fanned out over threads and still reproduce the serial
+/// results byte for byte.
 fn run_grid(
     opts: &Options,
     total_qps: f64,
@@ -29,21 +36,30 @@ fn run_grid(
     let gpu = GpuSpec::a100();
     let noise = NoiseModel::calibrated();
     let mlp = ensure_predictor("unified_a100", &pair_sets(), &lib, &gpu, opts);
-    let mut out = Vec::new();
-    for pair in all_pairs() {
+    let abacus = pinned_abacus_config(&mlp, "unified_a100", opts);
+    let pairs = all_pairs();
+    let cells: Vec<(usize, PolicyKind)> = (0..pairs.len())
+        .flat_map(|row| policies.iter().map(move |&p| (row, p)))
+        .collect();
+    let results = map_cells(opts.parallel, &cells, |&(row, policy)| {
+        let pair = &pairs[row];
         let cfg = ColocationConfig {
             qps_per_service: total_qps / pair.len() as f64,
             horizon_ms: opts.scale.horizon_ms(),
-            seed: opts.seed,
+            seed: fork_seed(opts.seed, row as u64),
             small_inputs,
+            abacus: abacus.clone(),
             ..ColocationConfig::default()
         };
-        let mut row = Vec::new();
-        for &p in policies {
-            let pred = (p == PolicyKind::Abacus).then(|| as_model(&mlp));
-            row.push((p, run_colocation(&pair, p, pred, &lib, &gpu, &noise, &cfg)));
-        }
-        out.push((pair_label(&pair), row));
+        let pred = (policy == PolicyKind::Abacus).then(|| as_model(&mlp));
+        run_colocation(pair, policy, pred, &lib, &gpu, &noise, &cfg)
+    });
+    let mut out: Vec<(String, Vec<(PolicyKind, serving::ColocationResult)>)> = pairs
+        .iter()
+        .map(|p| (pair_label(p), Vec::with_capacity(policies.len())))
+        .collect();
+    for ((row, policy), result) in cells.into_iter().zip(results) {
+        out[row].1.push((policy, result));
     }
     out
 }

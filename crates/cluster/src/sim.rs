@@ -66,8 +66,14 @@ pub struct ClusterConfig {
     pub trace: RateTrace,
     /// Seed for arrivals, inputs and execution noise.
     pub seed: u64,
-    /// Abacus controller settings (AbacusK8s only).
+    /// Abacus controller settings (AbacusK8s only). Pin
+    /// `predict_round_ms` for reproducible runs: the default calibrates
+    /// from the wall clock inside every per-GPU scheduler.
     pub abacus: AbacusConfig,
+    /// Simulate the (independent) nodes on separate threads. Node results
+    /// are concatenated in node order, so the records — and every summary
+    /// derived from them — are identical to a serial run.
+    pub parallel: bool,
 }
 
 impl ClusterConfig {
@@ -86,6 +92,7 @@ impl ClusterConfig {
             trace,
             seed,
             abacus: AbacusConfig::default(),
+            parallel: true,
         }
     }
 
@@ -303,46 +310,74 @@ fn run_abacus_k8s(
     arrivals: &[Arrival],
     inputs: &[QueryInput],
 ) -> ClusterRunResult {
-    let mut gpus: Vec<GpuSim> = (0..cfg.total_gpus())
-        .map(|g| GpuSim {
-            scheduler: Some(Box::new(AbacusScheduler::new(
-                predictor.clone(),
-                lib.clone(),
-                cfg.abacus.clone(),
-            ))),
-            executor: SegmentalExecutor::new(
-                gpu.clone(),
-                noise.clone(),
-                lib.clone(),
-                fork_seed(cfg.seed, 0xE000 + g as u64),
-            ),
-            queue: Vec::new(),
-            free_at: 0.0,
-            usage: GpuUsage::default(),
-        })
-        .collect();
-    let mut records = Vec::with_capacity(arrivals.len());
+    // The cluster-level ingress distributes arrivals round-robin across
+    // nodes; inside a node, K8s least-connections routing picks the GPU.
+    // Nodes never share queries, so each node is an independent simulation
+    // — the unit [`ClusterConfig::parallel`] fans out over threads. With
+    // one node this is exactly the old single-tier least-connections
+    // cluster.
+    let nodes = cfg.nodes.max(1);
+    let mut node_arrivals: Vec<Vec<(u64, &Arrival, QueryInput)>> = vec![Vec::new(); nodes];
     for (i, (a, &input)) in arrivals.iter().zip(inputs).enumerate() {
-        for g in gpus.iter_mut() {
-            g.advance(a.at_ms, lib, &mut records);
+        node_arrivals[i % nodes].push((i as u64, a, input));
+    }
+    let run_node = |node: usize| -> (Vec<QueryRecord>, Vec<GpuUsage>) {
+        let mut gpus: Vec<GpuSim> = (0..cfg.gpus_per_node)
+            .map(|local| {
+                // Global GPU index: seeds are identical to the pre-sharding
+                // single-tier layout (and independent of node count).
+                let g = node * cfg.gpus_per_node + local;
+                GpuSim {
+                    scheduler: Some(Box::new(AbacusScheduler::new(
+                        predictor.clone(),
+                        lib.clone(),
+                        cfg.abacus.clone(),
+                    ))),
+                    executor: SegmentalExecutor::new(
+                        gpu.clone(),
+                        noise.clone(),
+                        lib.clone(),
+                        fork_seed(cfg.seed, 0xE000 + g as u64),
+                    ),
+                    queue: Vec::new(),
+                    free_at: 0.0,
+                    usage: GpuUsage::default(),
+                }
+            })
+            .collect();
+        let mut records = Vec::with_capacity(node_arrivals[node].len());
+        for &(id, a, input) in &node_arrivals[node] {
+            for g in gpus.iter_mut() {
+                g.advance(a.at_ms, lib, &mut records);
+            }
+            // K8s least-connections routing within the node.
+            let target = gpus
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, g)| (g.outstanding(), *i))
+                .map(|(i, _)| i)
+                .unwrap();
+            let cq = make_query(id, cfg, lib, a, input);
+            gpus[target].queue.push(cq.query);
         }
-        // K8s least-connections routing.
-        let target = gpus
-            .iter()
-            .enumerate()
-            .min_by_key(|(i, g)| (g.outstanding(), *i))
-            .map(|(i, _)| i)
-            .unwrap();
-        let cq = make_query(i as u64, cfg, lib, a, input);
-        gpus[target].queue.push(cq.query);
+        for g in gpus.iter_mut() {
+            g.advance(f64::INFINITY, lib, &mut records);
+        }
+        (records, gpus.iter().map(|g| g.usage).collect())
+    };
+    let per_node: Vec<(Vec<QueryRecord>, Vec<GpuUsage>)> = if cfg.parallel && nodes > 1 {
+        use rayon::prelude::*;
+        (0..nodes).into_par_iter().map(run_node).collect()
+    } else {
+        (0..nodes).map(run_node).collect()
+    };
+    let mut records = Vec::with_capacity(arrivals.len());
+    let mut gpu_usage = Vec::with_capacity(cfg.total_gpus());
+    for (rs, us) in per_node {
+        records.extend(rs);
+        gpu_usage.extend(us);
     }
-    for g in gpus.iter_mut() {
-        g.advance(f64::INFINITY, lib, &mut records);
-    }
-    ClusterRunResult {
-        records,
-        gpu_usage: gpus.iter().map(|g| g.usage).collect(),
-    }
+    ClusterRunResult { records, gpu_usage }
 }
 
 fn run_clockwork(
@@ -592,6 +627,47 @@ mod tests {
             ar as f64 >= cr as f64 * 0.95,
             "abacus {ar} vs clockwork {cr}"
         );
+    }
+
+    #[test]
+    fn parallel_nodes_match_serial_bitwise() {
+        let lib = Arc::new(ModelLibrary::new());
+        let gpu = GpuSpec::v100();
+        let noise = NoiseModel::calibrated();
+        let trace = RateTrace::new(vec![50.0; 2]);
+        let mut cfg = ClusterConfig {
+            nodes: 2,
+            gpus_per_node: 1,
+            ..ClusterConfig::paper(trace, 5)
+        };
+        // Pin the prediction-round latency: the default calibrates it from
+        // the wall clock, which would differ between the two runs.
+        cfg.abacus.predict_round_ms = Some(0.08);
+        let predictor: Arc<dyn LatencyModel> = Arc::new(SpanModel {
+            lib: lib.clone(),
+            gpu: gpu.clone(),
+        });
+        cfg.parallel = false;
+        let serial = run_cluster_detailed(
+            ClusterSystem::AbacusK8s,
+            &cfg,
+            &lib,
+            &gpu,
+            &noise,
+            Some(predictor.clone()),
+        );
+        cfg.parallel = true;
+        let parallel = run_cluster_detailed(
+            ClusterSystem::AbacusK8s,
+            &cfg,
+            &lib,
+            &gpu,
+            &noise,
+            Some(predictor),
+        );
+        assert!(!serial.records.is_empty());
+        assert_eq!(serial.records, parallel.records);
+        assert_eq!(serial.gpu_usage, parallel.gpu_usage);
     }
 
     #[test]

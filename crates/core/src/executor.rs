@@ -14,7 +14,7 @@
 //! state).
 
 use dnn_models::ModelLibrary;
-use gpu_sim::{run_group, GpuSpec, NoiseModel};
+use gpu_sim::{run_group, Engine, GpuSpec, KernelDesc, NoiseModel, StreamCompletion};
 use predictor::GroupSpec;
 use std::sync::Arc;
 use workload::fork_seed;
@@ -40,30 +40,36 @@ pub struct ExecOutcome {
 }
 
 /// The segmental executor: owns the GPU and the run-to-run noise stream.
+///
+/// Holds one persistent [`Engine`] that is [`Engine::reset`] (not rebuilt)
+/// per group, and lowers every entry through the library's memoised kernel
+/// cache — the serving inner loop allocates nothing per group in the
+/// steady state.
 #[derive(Debug, Clone)]
 pub struct SegmentalExecutor {
-    gpu: GpuSpec,
-    noise: NoiseModel,
+    engine: Engine,
     lib: Arc<ModelLibrary>,
     seed: u64,
     rounds: u64,
+    /// Reused completion buffer for [`Engine::completions_into`].
+    completions: Vec<StreamCompletion>,
 }
 
 impl SegmentalExecutor {
     /// Create an executor on `gpu` with the given noise model and seed.
     pub fn new(gpu: GpuSpec, noise: NoiseModel, lib: Arc<ModelLibrary>, seed: u64) -> Self {
         Self {
-            gpu,
-            noise,
+            engine: Engine::new(gpu, noise, 0),
             lib,
             seed,
             rounds: 0,
+            completions: Vec::new(),
         }
     }
 
     /// The GPU this executor drives.
     pub fn gpu(&self) -> &GpuSpec {
-        &self.gpu
+        self.engine.gpu()
     }
 
     /// The model library used to lower operator ranges.
@@ -78,10 +84,28 @@ impl SegmentalExecutor {
 
     /// Execute one operator group exclusively and return its timing.
     pub fn execute(&mut self, spec: &GroupSpec) -> ExecOutcome {
-        let streams = spec.streams(&self.lib);
         let run_seed = fork_seed(self.seed, self.rounds);
         self.rounds += 1;
-        let result = run_group(&self.gpu, &self.noise, run_seed, &streams);
+        self.engine.reset(run_seed);
+        for e in &spec.entries {
+            self.engine.add_stream_slice(
+                self.lib.kernels_range(e.model, e.input, e.op_start, e.op_end),
+                0.0,
+            );
+        }
+        self.engine.run_until_idle();
+        self.engine.completions_into(&mut self.completions);
+        let mut min_start = f64::INFINITY;
+        let mut max_end = 0.0f64;
+        for c in &self.completions {
+            min_start = min_start.min(c.start_ms);
+            max_end = max_end.max(c.end_ms);
+        }
+        let total_ms = if self.completions.is_empty() {
+            0.0
+        } else {
+            max_end - min_start
+        };
         // Save/restore bookkeeping for partial queries.
         let mut overhead = GROUP_SYNC_MS;
         let mut saved_bytes = 0.0;
@@ -98,8 +122,8 @@ impl SegmentalExecutor {
             }
         }
         ExecOutcome {
-            duration_ms: result.total_ms + overhead,
-            stream_ms: (0..streams.len()).map(|i| result.stream_ms(i)).collect(),
+            duration_ms: total_ms + overhead,
+            stream_ms: self.completions.iter().map(|c| c.end_ms - c.start_ms).collect(),
             saved_bytes,
         }
     }
@@ -107,8 +131,12 @@ impl SegmentalExecutor {
     /// Noise-free duration of a group — used by tests and the oracle
     /// ablation (never by the controller, which must use the predictor).
     pub fn expected_duration_ms(&self, spec: &GroupSpec) -> f64 {
-        let streams = spec.streams(&self.lib);
-        run_group(&self.gpu, &NoiseModel::disabled(), 0, &streams).total_ms + GROUP_SYNC_MS
+        let streams: Vec<&[KernelDesc]> = spec
+            .entries
+            .iter()
+            .map(|e| self.lib.kernels_range(e.model, e.input, e.op_start, e.op_end))
+            .collect();
+        run_group(self.engine.gpu(), &NoiseModel::disabled(), 0, &streams).total_ms + GROUP_SYNC_MS
     }
 }
 

@@ -46,17 +46,57 @@ pub struct RunningKernel {
     pub exec_ms: f64,
 }
 
+/// Resource shares are quantised to integer multiples of 2⁻³² before they
+/// enter the contention sums. Shares are O(1) and running sets are small, so
+/// every quantised share and every partial sum/difference of them needs far
+/// fewer than the 53 mantissa bits of an `f64` — all aggregate arithmetic on
+/// shares is *exact*. That is what lets the engine maintain `U_c`/`U_m`
+/// incrementally (add on kernel start, subtract on retire) while staying
+/// bit-identical to re-summing the running set from scratch at every event:
+/// with exact arithmetic the two are the same number, with no drift over
+/// arbitrarily long open-loop runs.
+const SHARE_QUANTUM_INV: f64 = 4_294_967_296.0; // 2^32
+
+fn quantize_share(x: f64) -> f64 {
+    (x * SHARE_QUANTUM_INV).round() / SHARE_QUANTUM_INV
+}
+
 impl RunningKernel {
     /// Derive the profile of `kernel` on `gpu`.
+    ///
+    /// Evaluates `occupancy^alpha` (the one `powf` in the roofline) exactly
+    /// once and derives every field from it — this runs on every kernel
+    /// start, so the redundant per-accessor recomputation the
+    /// [`KernelDesc`] methods would do dominates the engine's event cost.
+    /// Each expression matches the corresponding accessor term for term, so
+    /// the results are bit-identical to calling them.
     pub fn profile(kernel: &KernelDesc, gpu: &GpuSpec) -> Self {
-        let t_compute_ms = kernel.t_compute_ms(gpu);
-        let t_memory_ms = kernel.t_memory_ms(gpu);
+        let eff = kernel.efficiency(gpu);
+        let t_compute_ms = if kernel.flops == 0.0 {
+            0.0
+        } else {
+            kernel.flops / (eff * gpu.peak_flops) * 1e3
+        };
+        let t_memory_ms = if kernel.bytes == 0.0 {
+            0.0
+        } else {
+            kernel.bytes / gpu.peak_bw * 1e3
+        };
+        let exec_ms = t_compute_ms.max(t_memory_ms);
+        let (compute_share, memory_share) = if exec_ms == 0.0 {
+            (0.0, 0.0)
+        } else {
+            (
+                quantize_share(eff * t_compute_ms / exec_ms),
+                quantize_share(t_memory_ms / exec_ms),
+            )
+        };
         Self {
             t_compute_ms,
             t_memory_ms,
-            compute_share: kernel.compute_share(gpu),
-            memory_share: kernel.memory_share(gpu),
-            exec_ms: t_compute_ms.max(t_memory_ms),
+            compute_share,
+            memory_share,
+            exec_ms,
         }
     }
 }
@@ -66,12 +106,21 @@ impl RunningKernel {
 /// `out[i]` is how many times slower kernel `i` executes compared to its
 /// solo execution time, given all kernels in `set` run simultaneously.
 pub fn co_run_slowdowns(set: &[RunningKernel], out: &mut Vec<f64>) {
+    let u_c: f64 = set.iter().map(|k| k.compute_share).sum();
+    let u_m: f64 = set.iter().map(|k| k.memory_share).sum();
+    co_run_slowdowns_summed(u_c, u_m, set, out);
+}
+
+/// [`co_run_slowdowns`] with the aggregate utilisations supplied by the
+/// caller — the engine's hot path, which maintains `U_c`/`U_m`
+/// incrementally across events instead of re-summing the running set.
+/// Because shares are quantised (see [`RunningKernel::profile`]), an
+/// incrementally-maintained aggregate equals the re-summed one bit for bit.
+pub fn co_run_slowdowns_summed(u_c: f64, u_m: f64, set: &[RunningKernel], out: &mut Vec<f64>) {
     out.clear();
     if set.is_empty() {
         return;
     }
-    let u_c: f64 = set.iter().map(|k| k.compute_share).sum();
-    let u_m: f64 = set.iter().map(|k| k.memory_share).sum();
     let over_c = u_c.max(1.0);
     let over_m = u_m.max(1.0);
     for k in set {
@@ -163,6 +212,55 @@ mod tests {
     #[test]
     fn empty_set() {
         assert!(slowdowns(&[]).is_empty());
+    }
+
+    #[test]
+    fn shares_are_quantized_exactly() {
+        let k = prof(3.7e9, 2.9e7, 1234.0);
+        for share in [k.compute_share, k.memory_share] {
+            let scaled = share * super::SHARE_QUANTUM_INV;
+            assert_eq!(scaled, scaled.round(), "share {share} not on the grid");
+        }
+    }
+
+    #[test]
+    fn incremental_aggregates_match_resummed_bitwise() {
+        // Simulate the engine's add-on-start / subtract-on-retire pattern
+        // over a long pseudo-random sequence and check the incremental
+        // aggregates and the resulting slowdowns stay bit-identical to
+        // re-summing the live set at every step.
+        let pool: Vec<RunningKernel> = (1..40)
+            .map(|i| prof(1e8 * i as f64, 3e6 * i as f64, 700.0 * i as f64))
+            .collect();
+        let mut live: Vec<RunningKernel> = Vec::new();
+        let mut u_c = 0.0f64;
+        let mut u_m = 0.0f64;
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut fast = Vec::new();
+        let mut slow = Vec::new();
+        for step in 0..5_000 {
+            if live.is_empty() || next() % 3 != 0 {
+                let k = pool[next() % pool.len()];
+                live.push(k);
+                u_c += k.compute_share;
+                u_m += k.memory_share;
+            } else {
+                let k = live.swap_remove(next() % live.len());
+                u_c -= k.compute_share;
+                u_m -= k.memory_share;
+            }
+            let rc: f64 = live.iter().map(|k| k.compute_share).sum();
+            let rm: f64 = live.iter().map(|k| k.memory_share).sum();
+            assert_eq!(u_c.to_bits(), rc.to_bits(), "U_c drifted at step {step}");
+            assert_eq!(u_m.to_bits(), rm.to_bits(), "U_m drifted at step {step}");
+            co_run_slowdowns_summed(u_c, u_m, &live, &mut fast);
+            co_run_slowdowns(&live, &mut slow);
+            assert_eq!(fast, slow, "slowdowns diverged at step {step}");
+        }
     }
 
     #[test]

@@ -18,11 +18,17 @@
 //!   and [`Engine::step`] yields completions one at a time so a caller can
 //!   chain queries dynamically — how the Fig. 3 motivation experiment runs.
 
-use crate::contention::{co_run_slowdowns, RunningKernel};
+use crate::contention::{co_run_slowdowns_summed, RunningKernel};
 use crate::gpu::GpuSpec;
 use crate::kernel::KernelDesc;
 use crate::noise::NoiseModel;
 use workload::SeededRng;
+
+/// Upper bound on retired kernel buffers kept for reuse (see
+/// [`Engine::reset`] and slot recycling). Small: each buffer is just
+/// capacity, and the steady state of a reset-per-group or recycling
+/// workload cycles through a handful.
+const SPARE_POOL_CAP: usize = 64;
 
 /// Identifier of a stream within one [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -99,6 +105,19 @@ pub struct Engine {
     profiles: Vec<RunningKernel>,
     /// Scratch: slowdowns, parallel to `active`.
     slowdowns: Vec<f64>,
+    /// Incremental Σ compute_share over `profiles`. Shares are quantised
+    /// (see [`crate::contention`]), so this equals re-summing bit for bit.
+    u_c: f64,
+    /// Incremental Σ memory_share over `profiles`.
+    u_m: f64,
+    /// Retired stream slots available for reuse (slot recycling only).
+    free_slots: Vec<usize>,
+    /// Retired kernel buffers kept to serve [`Engine::add_stream_slice`]
+    /// without allocating.
+    spare_kernels: Vec<Vec<KernelDesc>>,
+    /// When set, retired streams' slots are reused by later arrivals so
+    /// long open-loop runs stop growing `streams` unboundedly.
+    recycle: bool,
     events: u64,
     /// Per-kernel execution spans; populated only when tracing is on.
     trace: Option<Vec<KernelSpan>>,
@@ -121,9 +140,68 @@ impl Engine {
             active: Vec::new(),
             profiles: Vec::new(),
             slowdowns: Vec::new(),
+            u_c: 0.0,
+            u_m: 0.0,
+            free_slots: Vec::new(),
+            spare_kernels: Vec::new(),
+            recycle: false,
             events: 0,
             trace: None,
         }
+    }
+
+    /// Return the engine to the idle `t = 0` state under a new seed,
+    /// keeping its allocations (stream slots, kernel buffers, scratch
+    /// vectors). The RNG and session noise factor are re-derived exactly as
+    /// in [`Engine::new`], so a reset engine is bit-identical to a freshly
+    /// constructed one — this is what lets the segmental executor run one
+    /// group after another without rebuilding the engine.
+    pub fn reset(&mut self, seed: u64) {
+        self.rng = SeededRng::new(seed);
+        self.session_factor = self.noise.session_factor(&mut self.rng);
+        self.time_ms = 0.0;
+        self.events = 0;
+        for s in &mut self.streams {
+            let buf = std::mem::take(&mut s.kernels);
+            if buf.capacity() > 0 && self.spare_kernels.len() < SPARE_POOL_CAP {
+                self.spare_kernels.push(buf);
+            }
+        }
+        self.streams.clear();
+        self.pending.clear();
+        self.active.clear();
+        self.profiles.clear();
+        self.slowdowns.clear();
+        self.free_slots.clear();
+        self.u_c = 0.0;
+        self.u_m = 0.0;
+        if let Some(trace) = &mut self.trace {
+            trace.clear();
+        }
+    }
+
+    /// [`Engine::reset`] that also retargets the engine to a (possibly)
+    /// different GPU and noise model, cloning only on change.
+    pub fn reset_with(&mut self, gpu: &GpuSpec, noise: &NoiseModel, seed: u64) {
+        if &self.gpu != gpu {
+            self.gpu = gpu.clone();
+        }
+        if &self.noise != noise {
+            self.noise = noise.clone();
+        }
+        self.reset(seed);
+    }
+
+    /// Reuse retired streams' slots for later arrivals. Intended for long
+    /// open-loop runs ([`crate::engine`] module docs pattern 2): memory
+    /// stays bounded by the number of *concurrently live* streams instead
+    /// of the total arrival count. [`StreamId`]s are recycled along with
+    /// the slots, so callers must consume each completion as
+    /// [`Engine::step`] yields it; [`Engine::completions`] and
+    /// [`Engine::group_result`] only cover streams whose slot has not been
+    /// reused yet.
+    pub fn enable_slot_recycling(&mut self) {
+        self.recycle = true;
     }
 
     /// Record every kernel's execution interval. Must be called before any
@@ -155,31 +233,51 @@ impl Engine {
     /// Add a stream of kernels that may start at `start_ms` (clamped to
     /// now). Empty streams complete instantly at their start time.
     pub fn add_stream(&mut self, kernels: Vec<KernelDesc>, start_ms: f64) -> StreamId {
-        let id = self.streams.len();
         let start_ms = start_ms.max(self.time_ms);
-        self.streams.push(Stream {
+        let stream = Stream {
             kernels,
             next: 0,
             start_ms,
             end_ms: None,
             remaining_ms: 0.0,
             kernel_started_ms: 0.0,
-        });
-        self.pending.push(id);
-        // Keep soonest start at the back for O(1) pop.
-        self.pending
-            .sort_by(|&a, &b| self.streams[b].start_ms.total_cmp(&self.streams[a].start_ms));
+        };
+        let id = match self.free_slots.pop() {
+            Some(slot) => {
+                self.streams[slot] = stream;
+                slot
+            }
+            None => {
+                self.streams.push(stream);
+                self.streams.len() - 1
+            }
+        };
+        // `pending` is kept sorted by start time descending (soonest at the
+        // back, O(1) pop). Binary-insert *after* any equal start times: the
+        // previous push + stable sort left the newest arrival nearest the
+        // back among ties, i.e. activating first — tie order decides the
+        // order noise factors are drawn in, so it must be preserved.
+        let at = self
+            .pending
+            .partition_point(|&i| self.streams[i].start_ms >= start_ms);
+        self.pending.insert(at, id);
         StreamId(id)
+    }
+
+    /// [`Engine::add_stream`] from a borrowed kernel slice: copies into a
+    /// retired kernel buffer when one is available instead of allocating.
+    /// This is the executor hot path — groups lower to cached kernel
+    /// slices which no longer need to be cloned per run.
+    pub fn add_stream_slice(&mut self, kernels: &[KernelDesc], start_ms: f64) -> StreamId {
+        let mut buf = self.spare_kernels.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(kernels);
+        self.add_stream(buf, start_ms)
     }
 
     /// True when no stream is running or waiting to start.
     pub fn is_idle(&self) -> bool {
         self.active.is_empty() && self.pending.is_empty()
-    }
-
-    fn noisy_solo_ms(&mut self, k: &KernelDesc) -> f64 {
-        let kf = self.noise.kernel_factor(&mut self.rng);
-        k.solo_ms(&self.gpu) * self.session_factor * kf
     }
 
     /// Start pending streams whose start time has been reached.
@@ -199,11 +297,28 @@ impl Engine {
             let next = self.streams[idx].next;
             if next >= self.streams[idx].kernels.len() {
                 self.streams[idx].end_ms = Some(self.time_ms);
+                if self.recycle {
+                    // Reclaim the kernel buffer and hand the slot to the
+                    // next arrival. The completion record (start/end) stays
+                    // readable until the slot is actually reused, which is
+                    // after the caller has observed it from `step`.
+                    let buf = std::mem::take(&mut self.streams[idx].kernels);
+                    if buf.capacity() > 0 && self.spare_kernels.len() < SPARE_POOL_CAP {
+                        self.spare_kernels.push(buf);
+                    }
+                    self.free_slots.push(idx);
+                }
                 return;
             }
             let kernel = self.streams[idx].kernels[next];
             self.streams[idx].next = next + 1;
-            let dur = self.noisy_solo_ms(&kernel);
+            // One profile evaluation serves both the noisy solo duration
+            // (launch + exec roofline) and the contention shares; the
+            // kernel noise factor is drawn unconditionally so the RNG
+            // stream is independent of degenerate zero-cost kernels.
+            let profile = RunningKernel::profile(&kernel, &self.gpu);
+            let kf = self.noise.kernel_factor(&mut self.rng);
+            let dur = (kernel.launch_ms + profile.exec_ms) * self.session_factor * kf;
             if dur <= 0.0 {
                 // Degenerate zero-cost kernel: complete instantly.
                 continue;
@@ -211,15 +326,25 @@ impl Engine {
             self.streams[idx].remaining_ms = dur;
             self.streams[idx].kernel_started_ms = self.time_ms;
             self.active.push(idx);
-            self.profiles
-                .push(RunningKernel::profile(&kernel, &self.gpu));
+            self.u_c += profile.compute_share;
+            self.u_m += profile.memory_share;
+            self.profiles.push(profile);
             return;
         }
     }
 
     fn remove_active(&mut self, pos: usize) {
+        let profile = self.profiles[pos];
+        self.u_c -= profile.compute_share;
+        self.u_m -= profile.memory_share;
         self.active.swap_remove(pos);
         self.profiles.swap_remove(pos);
+        if self.profiles.is_empty() {
+            // Exact share arithmetic already lands on zero; snapping guards
+            // the sign of zero and keeps the invariant self-evident.
+            self.u_c = 0.0;
+            self.u_m = 0.0;
+        }
     }
 
     /// Advance until the next stream completes; returns its record, or
@@ -233,7 +358,7 @@ impl Engine {
                 self.time_ms = self.streams[idx].start_ms;
                 continue;
             }
-            co_run_slowdowns(&self.profiles, &mut self.slowdowns);
+            co_run_slowdowns_summed(self.u_c, self.u_m, &self.profiles, &mut self.slowdowns);
             // Time until the first kernel in flight completes.
             let mut dt = f64::INFINITY;
             for (pos, &idx) in self.active.iter().enumerate() {
@@ -311,19 +436,25 @@ impl Engine {
         while self.step().is_some() {}
     }
 
+    /// Completions of all finished streams, in stream-id order, appended to
+    /// `out` (which is cleared first). Non-allocating in the steady state —
+    /// the executor calls this once per group with a reused buffer.
+    pub fn completions_into(&self, out: &mut Vec<StreamCompletion>) {
+        out.clear();
+        out.extend(self.streams.iter().enumerate().filter_map(|(i, s)| {
+            s.end_ms.map(|end| StreamCompletion {
+                id: StreamId(i),
+                start_ms: s.start_ms,
+                end_ms: end,
+            })
+        }));
+    }
+
     /// Completions of all finished streams, in stream-id order.
     pub fn completions(&self) -> Vec<StreamCompletion> {
-        self.streams
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| {
-                s.end_ms.map(|end| StreamCompletion {
-                    id: StreamId(i),
-                    start_ms: s.start_ms,
-                    end_ms: end,
-                })
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.completions_into(&mut out);
+        out
     }
 
     /// Summarise a finished run as a [`GroupResult`].
@@ -539,5 +670,127 @@ mod tests {
         let dur = r.stream_ms(0);
         let solo = sequence_solo_ms(&vec![small_kernel(); 2], &gpu());
         assert!((dur - solo).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_is_bit_identical_to_fresh_engine() {
+        let run = |e: &mut Engine, seed: u64| {
+            e.add_stream(vec![small_kernel(); 5], 0.0);
+            e.add_stream(vec![big_kernel(); 3], 0.5);
+            e.add_stream(vec![small_kernel(); 2], 0.5); // equal-start tie
+            e.run_until_idle();
+            let _ = seed;
+            e.group_result()
+        };
+        let mut reused = Engine::new(gpu(), NoiseModel::calibrated(), 11);
+        let first = run(&mut reused, 11);
+        for seed in [11u64, 42, 7] {
+            reused.reset(seed);
+            let again = run(&mut reused, seed);
+            let mut fresh = Engine::new(gpu(), NoiseModel::calibrated(), seed);
+            let expect = run(&mut fresh, seed);
+            assert_eq!(again, expect, "reset diverged from fresh at seed {seed}");
+        }
+        reused.reset(11);
+        assert_eq!(run(&mut reused, 11), first);
+    }
+
+    #[test]
+    fn reset_with_retargets_gpu_and_noise() {
+        let streams = [vec![small_kernel(); 4], vec![big_kernel(); 2]];
+        let mut e = Engine::new(gpu(), NoiseModel::disabled(), 0);
+        let noisy = NoiseModel::calibrated();
+        e.reset_with(&gpu(), &noisy, 9);
+        for s in &streams {
+            e.add_stream(s.clone(), 0.0);
+        }
+        e.run_until_idle();
+        let r = e.group_result();
+        let mut fresh = Engine::new(gpu(), noisy, 9);
+        for s in &streams {
+            fresh.add_stream(s.clone(), 0.0);
+        }
+        fresh.run_until_idle();
+        assert_eq!(r, fresh.group_result());
+    }
+
+    #[test]
+    fn slot_recycling_matches_growing_engine() {
+        // Open-loop run: 60 arrivals, at most a few live at once. The
+        // recycling engine must yield the same (start, end) sequence from
+        // step() as the growing one, while keeping `streams` bounded.
+        let arrivals: Vec<f64> = (0..60).map(|i| i as f64 * 0.4).collect();
+        let run = |recycle: bool| -> (Vec<(f64, f64)>, usize) {
+            let mut e = Engine::new(gpu(), NoiseModel::calibrated(), 3);
+            if recycle {
+                e.enable_slot_recycling();
+            }
+            let mut out = Vec::new();
+            let mut next = 0;
+            loop {
+                while next < arrivals.len() && arrivals[next] <= e.now() + 1e-9 {
+                    e.add_stream_slice(&[small_kernel(), big_kernel()], arrivals[next]);
+                    next += 1;
+                }
+                if next < arrivals.len() && e.is_idle() {
+                    e.add_stream_slice(&[small_kernel(), big_kernel()], arrivals[next]);
+                    next += 1;
+                }
+                match e.step() {
+                    Some(c) => out.push((c.start_ms, c.end_ms)),
+                    None if next >= arrivals.len() => break,
+                    None => {}
+                }
+            }
+            (out, e.streams.len())
+        };
+        let (grown, grown_slots) = run(false);
+        let (recycled, recycled_slots) = run(true);
+        assert_eq!(grown.len(), arrivals.len());
+        assert_eq!(grown, recycled);
+        assert_eq!(grown_slots, arrivals.len());
+        assert!(
+            recycled_slots < arrivals.len() / 2,
+            "recycling kept {recycled_slots} slots for {} arrivals",
+            arrivals.len()
+        );
+    }
+
+    #[test]
+    fn completions_into_matches_completions() {
+        let mut e = Engine::new(gpu(), NoiseModel::calibrated(), 5);
+        e.add_stream(vec![small_kernel(); 3], 0.0);
+        e.add_stream(vec![big_kernel(); 2], 1.0);
+        e.run_until_idle();
+        let mut buf = vec![StreamCompletion {
+            id: StreamId(99),
+            start_ms: -1.0,
+            end_ms: -1.0,
+        }];
+        e.completions_into(&mut buf);
+        assert_eq!(buf, e.completions());
+    }
+
+    #[test]
+    fn binary_insert_keeps_equal_start_activation_order() {
+        // Three streams with the same start time: the engine activates the
+        // most recently added first (the legacy push + stable-sort order),
+        // which fixes the order kernel noise factors are drawn in. Use a
+        // compute-only kernel small enough that slowdowns are exactly 1, so
+        // each stream's duration is exactly solo * session * its own draw.
+        let noise = NoiseModel::calibrated();
+        let k = KernelDesc::new(1e8, 0.0, 64.0);
+        let mut rng = SeededRng::new(13);
+        let session = noise.session_factor(&mut rng);
+        let first_draw = noise.kernel_factor(&mut rng);
+        let mut e = Engine::new(gpu(), noise, 13);
+        e.add_stream(vec![k], 2.0);
+        e.add_stream(vec![k], 2.0);
+        e.add_stream(vec![k], 2.0); // newest arrival: must draw first
+        e.run_until_idle();
+        let r = e.group_result();
+        let expect = k.solo_ms(&gpu()) * session * first_draw;
+        let got = r.stream_ms(2);
+        assert!((got - expect).abs() < 1e-12, "{got} vs {expect}");
     }
 }

@@ -43,17 +43,33 @@ pub use noise::NoiseModel;
 /// overlap). Returns per-stream finish times and the group duration.
 ///
 /// This is the primitive both the segmental model executor and the offline
-/// profiler are built on.
-pub fn run_group(
+/// profiler are built on. Accepts any slice of kernel sequences (owned
+/// `Vec`s or borrowed slices from the lowering cache), and reuses one
+/// engine per thread via [`Engine::reset_with`] so the steady state
+/// allocates nothing per group.
+pub fn run_group<S: AsRef<[KernelDesc]>>(
     gpu: &GpuSpec,
     noise: &NoiseModel,
     seed: u64,
-    streams: &[Vec<KernelDesc>],
+    streams: &[S],
 ) -> GroupResult {
-    let mut engine = Engine::new(gpu.clone(), noise.clone(), seed);
-    for s in streams {
-        engine.add_stream(s.clone(), 0.0);
+    use std::cell::RefCell;
+    thread_local! {
+        static ENGINE: RefCell<Option<Engine>> = const { RefCell::new(None) };
     }
-    engine.run_until_idle();
-    engine.group_result()
+    ENGINE.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let engine = match slot.as_mut() {
+            Some(e) => {
+                e.reset_with(gpu, noise, seed);
+                e
+            }
+            None => slot.insert(Engine::new(gpu.clone(), noise.clone(), seed)),
+        };
+        for s in streams {
+            engine.add_stream_slice(s.as_ref(), 0.0);
+        }
+        engine.run_until_idle();
+        engine.group_result()
+    })
 }

@@ -155,10 +155,15 @@ impl QueryInput {
 }
 
 /// Pre-instantiated graphs for every (model, input) combination plus memoised
-/// solo latencies and QoS targets.
+/// solo latencies, kernel lowerings and QoS targets.
 #[derive(Debug, Clone)]
 pub struct ModelLibrary {
     graphs: HashMap<(ModelId, QueryInput), Arc<ModelGraph>>,
+    /// Memoised full-graph kernel lowering, one entry per graph. A segment
+    /// `[start, end)` lowers to `kernels[start..end]` (lowering is
+    /// per-operator), so this one cache serves every op range and the
+    /// serving inner loop never re-derives kernels per group.
+    kernels: HashMap<(ModelId, QueryInput), Arc<[gpu_sim::KernelDesc]>>,
 }
 
 impl ModelLibrary {
@@ -171,15 +176,18 @@ impl ModelLibrary {
     /// (e.g. the element-wise fusion pass of `crate::fuse`).
     pub fn new_with(transform: impl Fn(ModelGraph) -> ModelGraph) -> Self {
         let mut graphs = HashMap::new();
+        let mut kernels = HashMap::new();
         for m in ModelId::ALL {
             for &batch in &BATCH_CHOICES {
                 for &seq in m.seq_choices() {
                     let input = QueryInput { batch, seq };
-                    graphs.insert((m, input), Arc::new(transform(m.build(input))));
+                    let graph = transform(m.build(input));
+                    kernels.insert((m, input), graph.kernels().into());
+                    graphs.insert((m, input), Arc::new(graph));
                 }
             }
         }
-        Self { graphs }
+        Self { graphs, kernels }
     }
 
     /// The graph for `(model, input)`.
@@ -190,6 +198,31 @@ impl ModelLibrary {
         self.graphs
             .get(&(model, input))
             .unwrap_or_else(|| panic!("{:?} has no input {:?}", model, input))
+    }
+
+    /// Cached kernel lowering of the whole `(model, input)` graph —
+    /// equivalent to `graph.kernels()` without the per-call allocation.
+    ///
+    /// # Panics
+    /// Panics if `input` is not a Table-1 combination.
+    pub fn kernels(&self, model: ModelId, input: QueryInput) -> &[gpu_sim::KernelDesc] {
+        self.kernels
+            .get(&(model, input))
+            .unwrap_or_else(|| panic!("{:?} has no input {:?}", model, input))
+    }
+
+    /// Cached lowering of the operator segment `[start, end)` — equivalent
+    /// to `graph.kernels_range(start, end)` without the allocation.
+    pub fn kernels_range(
+        &self,
+        model: ModelId,
+        input: QueryInput,
+        start: usize,
+        end: usize,
+    ) -> &[gpu_sim::KernelDesc] {
+        let all = self.kernels(model, input);
+        assert!(start <= end && end <= all.len(), "invalid range");
+        &all[start..end]
     }
 
     /// Solo latency of `(model, input)` on `gpu`, ms (noise-free).

@@ -1,0 +1,52 @@
+//! Property test: the library's memoised kernel lowering is exactly the
+//! fresh per-call lowering from the graph, for arbitrary Table-1
+//! (model, batch, seq) combinations and arbitrary operator sub-ranges.
+
+use dnn_models::{ModelId, ModelLibrary, QueryInput, BATCH_CHOICES, SEQ_CHOICES};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn lib() -> &'static ModelLibrary {
+    static LIB: OnceLock<ModelLibrary> = OnceLock::new();
+    LIB.get_or_init(ModelLibrary::new)
+}
+
+fn arb_case() -> impl Strategy<Value = ((usize, usize, usize), (f64, f64))> {
+    // (model index, batch index, seq index), (range fractions). Seq index
+    // is taken modulo the model's actual choices, so CV models map to seq=1.
+    (
+        (
+            0usize..ModelId::ALL.len(),
+            0usize..BATCH_CHOICES.len(),
+            0usize..SEQ_CHOICES.len(),
+        ),
+        (0.0f64..1.0, 0.0f64..1.0),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cached_lowering_equals_fresh_lowering(((mi, bi, si), (a, b)) in arb_case()) {
+        let model = ModelId::ALL[mi];
+        let seqs = model.seq_choices();
+        let input = QueryInput::new(BATCH_CHOICES[bi], seqs[si % seqs.len()]);
+        let graph = lib().graph(model, input);
+
+        let fresh = graph.kernels();
+        prop_assert_eq!(lib().kernels(model, input), fresh.as_slice());
+
+        let n = graph.ops.len();
+        let (lo, hi) = (a * n as f64, b * n as f64);
+        let (start, end) = if lo <= hi {
+            (lo as usize, hi as usize)
+        } else {
+            (hi as usize, lo as usize)
+        };
+        prop_assert_eq!(
+            lib().kernels_range(model, input, start, end),
+            graph.kernels_range(start, end).as_slice()
+        );
+    }
+}

@@ -1,20 +1,29 @@
 #!/usr/bin/env bash
-# Quick perf regression gate for the search-path prediction round.
+# Quick perf regression gate for the two perf-tracked paths:
 #
-# Re-measures the batched MLP inference microbench in quick mode and fails
-# (exit 1) if ns/prediction regressed by more than 2x against the committed
-# BENCH_search.json baseline. Regenerate the baseline after an intentional
-# perf change with:
+#   * the batched MLP inference microbench (BENCH_search.json)
+#   * the serving substrate: executor groups/sec + fig14 cell wall time
+#     (BENCH_serving.json)
+#
+# Each bench re-measures itself in quick mode and fails (exit 1) if it
+# regressed by more than 2x against its committed baseline. Regenerate a
+# baseline after an intentional perf change with:
 #
 #   cargo run --release -p bench --bin search_bench
+#   cargo run --release -p bench --bin serving_bench -- --baseline-gps <old>
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE="${1:-BENCH_search.json}"
-if [[ ! -f "$BASELINE" ]]; then
-    echo "baseline $BASELINE not found — generate it first:" >&2
-    echo "  cargo run --release -p bench --bin search_bench" >&2
-    exit 2
-fi
+SEARCH_BASELINE="${1:-BENCH_search.json}"
+SERVING_BASELINE="${2:-BENCH_serving.json}"
 
-exec cargo run --release -q -p bench --bin search_bench -- --quick --check "$BASELINE"
+for f in "$SEARCH_BASELINE" "$SERVING_BASELINE"; do
+    if [[ ! -f "$f" ]]; then
+        echo "baseline $f not found — generate it first (see header of $0)" >&2
+        exit 2
+    fi
+done
+
+cargo run --release -q -p bench --bin search_bench -- --quick --check "$SEARCH_BASELINE"
+cargo run --release -q -p bench --bin serving_bench -- --quick --check "$SERVING_BASELINE"
+echo "all bench gates passed"

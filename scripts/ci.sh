@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full local CI: build everything, run the whole test suite, then the two
+# perf regression gates. This is what a commit must pass.
+#
+#   scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, all targets) =="
+cargo build --release --workspace --all-targets
+
+echo "== tests =="
+cargo test -q
+
+echo "== bench gates =="
+scripts/bench_check.sh
+
+echo "CI passed"

@@ -10,6 +10,7 @@
 use std::num::NonZeroUsize;
 
 pub mod prelude {
+    pub use crate::IntoParallelIterator;
     pub use crate::IntoParallelRefIterator;
 }
 
@@ -119,6 +120,116 @@ impl<'a, T: Sync, R: Send, F: Fn((usize, &'a T)) -> R + Sync> ParMap<ParEnumerat
     }
 }
 
+/// `.into_par_iter()` on owned collections (`Vec<T>`, `Range<usize>`).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> IntoParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> IntoParIter<usize> {
+        IntoParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Owning parallel iterator.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+/// Enumerated variant of [`IntoParIter`].
+pub struct IntoParEnumerate<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParIter<T> {
+    pub fn enumerate(self) -> IntoParEnumerate<T> {
+        IntoParEnumerate { items: self.items }
+    }
+
+    pub fn map<R, F: Fn(T) -> R>(self, f: F) -> ParMap<Self, F> {
+        ParMap { inner: self, f }
+    }
+}
+
+impl<T: Send> IntoParEnumerate<T> {
+    pub fn map<R, F: Fn((usize, T)) -> R>(self, f: F) -> ParMap<Self, F> {
+        ParMap { inner: self, f }
+    }
+}
+
+/// Apply `f` to every owned item across scoped threads (contiguous chunks,
+/// one per available core), preserving input order in the output.
+fn parallel_map_owned<T: Send, R: Send>(
+    items: Vec<T>,
+    f: impl Fn(usize, T) -> R + Sync,
+) -> Vec<R> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads_for(n);
+    if workers == 1 {
+        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(w, c)| {
+                let base = w * chunk;
+                scope.spawn(move || {
+                    c.into_iter()
+                        .enumerate()
+                        .map(|(k, t)| f(base + k, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<IntoParIter<T>, F> {
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map_owned(self.inner.items, |_, t| (self.f)(t))
+            .into_iter()
+            .collect()
+    }
+}
+
+impl<T: Send, R: Send, F: Fn((usize, T)) -> R + Sync> ParMap<IntoParEnumerate<T>, F> {
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map_owned(self.inner.items, |i, t| (self.f)((i, t)))
+            .into_iter()
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -142,5 +253,37 @@ mod tests {
         let xs: Vec<u32> = Vec::new();
         let out: Vec<u32> = xs.par_iter().map(|&x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn into_par_iter_moves_items_in_order() {
+        let xs: Vec<String> = (0..257).map(|i| format!("item-{i}")).collect();
+        let out: Vec<String> = xs.clone().into_par_iter().map(|s| s + "!").collect();
+        assert_eq!(out.len(), xs.len());
+        for (i, s) in out.iter().enumerate() {
+            assert_eq!(s, &format!("item-{i}!"));
+        }
+    }
+
+    #[test]
+    fn into_par_iter_enumerate() {
+        let xs = vec![5u64, 6, 7];
+        let out: Vec<u64> = xs.into_par_iter().enumerate().map(|(i, x)| i as u64 * 100 + x).collect();
+        assert_eq!(out, vec![5, 106, 207]);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (3..10).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out, vec![9, 16, 25, 36, 49, 64, 81]);
+    }
+
+    #[test]
+    fn into_par_iter_empty() {
+        let out: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+        let v: Vec<u8> = Vec::new();
+        let out2: Vec<u8> = v.into_par_iter().map(|x| x).collect();
+        assert!(out2.is_empty());
     }
 }
