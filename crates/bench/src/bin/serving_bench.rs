@@ -69,8 +69,10 @@ fn run_cell(
     // from wall-clock timing at scheduler startup, which would make the
     // Abacus cells irreproducible (and the serial-vs-parallel identity
     // check meaningless).
-    let mut abacus = abacus_core::AbacusConfig::default();
-    abacus.predict_round_ms = Some(0.09);
+    let abacus = abacus_core::AbacusConfig {
+        predict_round_ms: Some(0.09),
+        ..Default::default()
+    };
     let cfg = ColocationConfig {
         qps_per_service: 50.0 / pair.len() as f64,
         horizon_ms,

@@ -153,9 +153,19 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
+/// Cache path of the unified duration model for `tag` at the current
+/// scale. The key includes the GPU tag and scale, so A100, MIG and V100
+/// predictors coexist under `results/models/`; the `.round_ms` calibration
+/// sidecar lives next to it (see [`predictor::persist::round_ms_path`]).
+pub fn model_path(tag: &str, opts: &Options) -> PathBuf {
+    opts.out_dir
+        .join("models")
+        .join(format!("{tag}_{:?}.mlp", opts.scale).to_lowercase())
+}
+
 /// Train (or load from cache) the unified duration model for `sets` on
-/// `gpu`. The cache key includes the GPU name and scale, so A100, MIG and
-/// V100 predictors coexist under `results/models/`.
+/// `gpu`. A missing, truncated or corrupt cache file degrades to a
+/// retrain, never to a failed run.
 pub fn ensure_predictor(
     tag: &str,
     sets: &[Vec<ModelId>],
@@ -163,34 +173,36 @@ pub fn ensure_predictor(
     gpu: &GpuSpec,
     opts: &Options,
 ) -> Arc<Mlp> {
-    let path = opts
-        .out_dir
-        .join("models")
-        .join(format!("{tag}_{:?}.mlp", opts.scale).to_lowercase());
-    if !opts.retrain {
-        if let Ok(m) = persist::load(&path) {
-            eprintln!("[predictor] loaded cached model {}", path.display());
-            return Arc::new(m);
-        }
-    }
-    eprintln!(
-        "[predictor] training unified model '{tag}' over {} sets ({} samples x {} runs each)...",
-        sets.len(),
-        opts.scale.samples_per_set(),
-        opts.scale.runs_per_group()
-    );
-    let t0 = std::time::Instant::now();
-    let (mlp, data) = train_unified(sets, lib, gpu, &NoiseModel::calibrated(), &opts.trainer_config());
-    let mut rng = workload::SeededRng::new(1);
-    let (_, test) = data.split(0.9, &mut rng);
-    let err = predictor::eval::mape(&mlp, &test);
-    eprintln!(
-        "[predictor] trained in {:.1?}; held-out MAPE {:.1}% ({} samples)",
-        t0.elapsed(),
-        err * 100.0,
-        data.len()
-    );
-    if let Err(e) = persist::save(&mlp, &path) {
+    let path = model_path(tag, opts);
+    let train = || {
+        eprintln!(
+            "[predictor] training unified model '{tag}' over {} sets ({} samples x {} runs each)...",
+            sets.len(),
+            opts.scale.samples_per_set(),
+            opts.scale.runs_per_group()
+        );
+        let t0 = std::time::Instant::now();
+        let (mlp, data) =
+            train_unified(sets, lib, gpu, &NoiseModel::calibrated(), &opts.trainer_config());
+        let mut rng = workload::SeededRng::new(1);
+        let (_, test) = data.split(0.9, &mut rng);
+        let err = predictor::eval::mape(&mlp, &test);
+        eprintln!(
+            "[predictor] trained in {:.1?}; held-out MAPE {:.1}% ({} samples)",
+            t0.elapsed(),
+            err * 100.0,
+            data.len()
+        );
+        mlp
+    };
+    let (mlp, cached) = if opts.retrain {
+        (train(), false)
+    } else {
+        persist::load_or_else(&path, train)
+    };
+    if cached {
+        eprintln!("[predictor] loaded cached model {}", path.display());
+    } else if let Err(e) = persist::save(&mlp, &path) {
         eprintln!("[predictor] warning: could not cache model: {e}");
     }
     Arc::new(mlp)
@@ -232,16 +244,9 @@ pub fn pinned_abacus_config(
     opts: &Options,
 ) -> abacus_core::AbacusConfig {
     let cfg = abacus_core::AbacusConfig::default();
-    let path = opts
-        .out_dir
-        .join("models")
-        .join(format!("{tag}_{:?}.round_ms", opts.scale).to_lowercase());
+    let path = model_path(tag, opts);
     if !opts.retrain {
-        if let Some(round_ms) = std::fs::read_to_string(&path)
-            .ok()
-            .and_then(|s| s.trim().parse::<f64>().ok())
-            .filter(|v| v.is_finite() && *v > 0.0)
-        {
+        if let Some(round_ms) = persist::load_round_ms(&path) {
             return abacus_core::AbacusConfig {
                 predict_round_ms: Some(round_ms),
                 ..cfg
@@ -249,10 +254,7 @@ pub fn pinned_abacus_config(
         }
     }
     let round_ms = abacus_core::calibrate_predict_round_ms(model.as_ref(), cfg.ways);
-    if let Some(dir) = path.parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
-    if let Err(e) = std::fs::write(&path, format!("{round_ms}\n")) {
+    if let Err(e) = persist::save_round_ms(&path, round_ms) {
         eprintln!("[predictor] warning: could not cache round latency: {e}");
     }
     abacus_core::AbacusConfig {

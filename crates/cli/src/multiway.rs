@@ -31,9 +31,10 @@ pub fn run(opts: &Options) {
     .expect("csv");
     let mut t18 = Table::new(vec!["set", "FCFS", "SJF", "EDF", "Abacus"]);
     let mut t19 = t18.clone();
-    // Aggregates split by deployment size for the paper's per-size claims.
-    let mut agg: std::collections::HashMap<usize, ([f64; 4], [f64; 4], [f64; 4], usize)> =
-        std::collections::HashMap::new();
+    // Aggregates split by deployment size for the paper's per-size claims:
+    // per-policy p99s, violation rates, throughputs, and the set count.
+    type SizeAgg = ([f64; 4], [f64; 4], [f64; 4], usize);
+    let mut agg: std::collections::HashMap<usize, SizeAgg> = std::collections::HashMap::new();
 
     // One cell per (set, load, policy): all independent, with the workload
     // seed derived per set so every load/policy of a set faces the same

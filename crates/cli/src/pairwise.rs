@@ -49,7 +49,6 @@ fn run_grid(
             seed: fork_seed(opts.seed, row as u64),
             small_inputs,
             abacus: abacus.clone(),
-            ..ColocationConfig::default()
         };
         let pred = (policy == PolicyKind::Abacus).then(|| as_model(&mlp));
         run_colocation(pair, policy, pred, &lib, &gpu, &noise, &cfg)

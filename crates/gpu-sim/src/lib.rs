@@ -12,13 +12,13 @@
 //!    latency is stable across runs (std/mean ≈ 4.5% in the paper's 40 000
 //!    runs).
 //!
-//! This crate reproduces exactly those properties with an analytic roofline
-//! + proportional-sharing contention model (see [`contention`]) driven by an
-//! event-driven engine ([`engine`]) that advances kernels by *work
-//! fraction*, re-deriving every running kernel's rate whenever the co-run
-//! set changes. There is no time-stepping: between events progress is
-//! integrated in closed form, which keeps full serving experiments (tens of
-//! millions of kernel events) fast on a single core.
+//! This crate reproduces exactly those properties with an analytic
+//! roofline + proportional-sharing contention model (see [`contention`])
+//! driven by an event-driven engine ([`engine`]) that advances kernels by
+//! *work fraction*, re-deriving every running kernel's rate whenever the
+//! co-run set changes. There is no time-stepping: between events progress
+//! is integrated in closed form, which keeps full serving experiments
+//! (tens of millions of kernel events) fast on a single core.
 //!
 //! [`GpuSpec`] provides calibrated A100/V100 presets and MIG slices
 //! (Table 2, Table 3); [`NoiseModel`] provides the calibrated ~4%

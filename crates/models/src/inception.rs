@@ -31,6 +31,7 @@ fn conv_bn(
     g.push(Operator::norm(format!("{name}/bn"), b * cout * h * w), &[c])
 }
 
+#[allow(clippy::too_many_arguments)]
 fn square(g: &mut GraphBuilder, name: &str, input: usize, b: f64, cin: f64, cout: f64, hw: f64, k: f64) -> usize {
     conv_bn(g, name, input, b, cin, cout, hw, hw, k, k)
 }

@@ -33,6 +33,11 @@ pub struct MlpConfig {
     /// group duration, giving the controller a tail-aware budget check
     /// (an extension beyond the paper's mean predictor).
     pub quantile: Option<f64>,
+    /// Compute minibatch gradient chunks on the calling thread instead of
+    /// the worker pool. Purely a perf knob (benchmarking, contention-free
+    /// hosts): the chunked reduction order is fixed, so serial and pooled
+    /// training produce bit-identical weights.
+    pub serial: bool,
 }
 
 impl Default for MlpConfig {
@@ -44,6 +49,7 @@ impl Default for MlpConfig {
             lr: 1e-3,
             seed: 0x5EED,
             quantile: None,
+            serial: false,
         }
     }
 }
@@ -163,22 +169,52 @@ impl InferencePlan {
     }
 }
 
+/// Output rows up to this wide use the stack-accumulator fast path in
+/// [`layer_kernel`]; wider layers fall back to streaming through memory.
+/// Generously above the paper's 32-wide hidden layers.
+const LAYER_ACC_WIDTH: usize = 128;
+
 /// One dense layer of the batched forward pass: `b[..n*dout] = bias ⊕
 /// a[..n*din] · wt`, rows packed at their layer's stride.
 ///
-/// GEMM-style blocking: the input dimension is the outer loop, so one
-/// transposed weight row is loaded once and applied to every batch row
-/// while it is hot in cache. Per output the terms still accumulate in
-/// ascending input order — exactly as [`Dense::forward`] — so batched and
-/// scalar predictions agree bit for bit (the axpy inner loop is
-/// element-wise: vectorising *across* outputs reorders nothing *within*
-/// an output's accumulation chain).
+/// Per batch row the output accumulates in a stack buffer that stays in
+/// registers/L1 across the whole input loop, so each output row is written
+/// to `b` exactly once instead of once per non-zero input; the transposed
+/// weight matrix is small enough (≤ a few kB per layer) to stay cache-hot
+/// across rows. Per output the terms accumulate in ascending input order —
+/// exactly as [`Dense::forward`] — so batched and scalar predictions agree
+/// bit for bit (the axpy inner loop is element-wise: vectorising *across*
+/// outputs reorders nothing *within* an output's accumulation chain).
 ///
 /// `#[inline(always)]` so the AVX2 wrapper below compiles this exact body
 /// with wider vector instructions enabled.
 #[inline(always)]
 fn layer_kernel(a: &[f64], b: &mut [f64], wt: &[f64], bias: &[f64], n: usize, din: usize) {
     let dout = bias.len();
+    if dout <= LAYER_ACC_WIDTH {
+        let mut acc = [0.0f64; LAYER_ACC_WIDTH];
+        let acc = &mut acc[..dout];
+        let rows = a[..n * din]
+            .chunks_exact(din)
+            .zip(b[..n * dout].chunks_exact_mut(dout));
+        for (arow, y) in rows {
+            acc.copy_from_slice(bias);
+            for (i, &xi) in arow.iter().enumerate() {
+                // Fig. 8 vectors are mostly zero (multi-hot bitmap, empty
+                // slots) and so are post-ReLU activations: skipping zero
+                // inputs skips whole weight rows.
+                if xi == 0.0 {
+                    continue;
+                }
+                let wrow = &wt[i * dout..(i + 1) * dout];
+                for (yo, &w) in acc.iter_mut().zip(wrow) {
+                    *yo += xi * w;
+                }
+            }
+            y.copy_from_slice(acc);
+        }
+        return;
+    }
     for row in b[..n * dout].chunks_exact_mut(dout) {
         row.copy_from_slice(bias);
     }
@@ -188,9 +224,6 @@ fn layer_kernel(a: &[f64], b: &mut [f64], wt: &[f64], bias: &[f64], n: usize, di
             .chunks_exact(din)
             .zip(b[..n * dout].chunks_exact_mut(dout));
         for (arow, y) in rows {
-            // Fig. 8 vectors are mostly zero (multi-hot bitmap, empty
-            // slots) and so are post-ReLU activations: skipping zero
-            // inputs skips whole weight rows.
             let xi = arow[i];
             if xi == 0.0 {
                 continue;
@@ -236,12 +269,700 @@ const BETA1: f64 = 0.9;
 const BETA2: f64 = 0.999;
 const EPS: f64 = 1e-8;
 
+/// Samples per gradient chunk in minibatch training. Fixed — never derived
+/// from the worker count — so the per-chunk partial sums and the
+/// chunk-index reduction order are the same at 1 thread and N threads,
+/// which makes the trained weights independent of host parallelism. 16
+/// rows keeps one chunk's activations L1-resident while giving the default
+/// 64-row minibatch four-way parallelism.
+const GRAD_CHUNK: usize = 16;
+
+/// Per-chunk scratch and gradient partial sums for minibatch training.
+/// One lives behind a `Mutex` per chunk slot so pool workers can fill
+/// disjoint chunks concurrently; the locks are uncontended by construction
+/// (task `c` touches only slot `c`).
+struct ChunkGrads {
+    /// Row-packed post-ReLU activations entering each *hidden-to-next*
+    /// layer: `acts[l]` is `rows × dims[l + 1]`, the input of layer
+    /// `l + 1`. Layer 0's input is the caller's row slice itself.
+    acts: Vec<Vec<f64>>,
+    /// Pre-activations (before ReLU) per layer: `pre[l]` is
+    /// `rows × dims[l+1]`.
+    pre: Vec<Vec<f64>>,
+    /// Back-propagated deltas, same shapes as `pre`.
+    delta: Vec<Vec<f64>>,
+    /// This chunk's gradient partial sums, laid out like `Dense::w`/`b`.
+    gw: Vec<Vec<f64>>,
+    gb: Vec<Vec<f64>>,
+}
+
+impl ChunkGrads {
+    fn new(layers: &[Dense]) -> Self {
+        let n = layers.len();
+        Self {
+            acts: vec![Vec::new(); n],
+            pre: vec![Vec::new(); n],
+            delta: vec![Vec::new(); n],
+            gw: layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
+            gb: layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+        }
+    }
+}
+
+/// Refresh the transposed (`in_dim × out_dim`) weight copies the batched
+/// forward kernel reads. Called once per optimiser step — a dense 3×32 net
+/// has ~3 k weights, so the transpose is noise next to the forward itself.
+fn refresh_transposed(layers: &[Dense], wt: &mut [Vec<f64>]) {
+    for (l, t) in layers.iter().zip(wt.iter_mut()) {
+        for o in 0..l.out_dim {
+            for i in 0..l.in_dim {
+                t[i * l.out_dim + o] = l.w[o * l.in_dim + i];
+            }
+        }
+    }
+}
+
+/// Accumulate one chunk's weight/bias gradients: for every output `o` and
+/// row `r`, `gb[o] += d` and `gw[o,·] += d · acts[r,·]`.
+///
+/// Outputs are the outer loop so one gradient row (and its bias cell)
+/// stays hot across the whole chunk; rows ascend in the inner loop, so
+/// each weight's terms still add in ascending sample order — the order the
+/// scalar reference trainer uses. ReLU-masked deltas are mostly zero, so
+/// `d == 0` skips whole axpys the way the forward kernel skips zero
+/// inputs.
+#[inline(always)]
+fn grad_kernel(delta: &[f64], acts: &[f64], gw: &mut [f64], gb: &mut [f64], rows: usize, din: usize) {
+    let dout = gb.len();
+    for (o, b) in gb.iter_mut().enumerate() {
+        let grow = &mut gw[o * din..(o + 1) * din];
+        let mut bsum = *b;
+        for r in 0..rows {
+            let d = delta[r * dout + o];
+            if d == 0.0 {
+                continue;
+            }
+            bsum += d;
+            let arow = &acts[r * din..(r + 1) * din];
+            for (g, &a) in grow.iter_mut().zip(arow) {
+                *g += d * a;
+            }
+        }
+        *b = bsum;
+    }
+}
+
+/// [`grad_kernel`] compiled with AVX2 enabled.
+///
+/// # Safety
+/// Caller must have verified AVX2 support (`is_x86_feature_detected!`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn grad_kernel_avx2(
+    delta: &[f64],
+    acts: &[f64],
+    gw: &mut [f64],
+    gb: &mut [f64],
+    rows: usize,
+    din: usize,
+) {
+    grad_kernel(delta, acts, gw, gb, rows, din);
+}
+
+/// Back-propagate a chunk's deltas through one layer:
+/// `prev[r,·] = Σ_o delta[r,o] · w[o,·]`, then ReLU-masked at the previous
+/// pre-activation. Outputs are the outer loop per row — the accumulation
+/// order of the scalar reference — and each weight row is a contiguous
+/// axpy. Zero deltas skip their whole weight row.
+#[inline(always)]
+fn delta_kernel(
+    delta: &[f64],
+    w: &[f64],
+    pre_prev: &[f64],
+    prev: &mut [f64],
+    rows: usize,
+    din: usize,
+    dout: usize,
+) {
+    prev[..rows * din].fill(0.0);
+    for r in 0..rows {
+        let drow = &delta[r * dout..(r + 1) * dout];
+        let prow = &mut prev[r * din..(r + 1) * din];
+        for (o, &d) in drow.iter().enumerate() {
+            if d == 0.0 {
+                continue;
+            }
+            let wrow = &w[o * din..(o + 1) * din];
+            for (p, &wv) in prow.iter_mut().zip(wrow) {
+                *p += d * wv;
+            }
+        }
+        let zrow = &pre_prev[r * din..(r + 1) * din];
+        for (p, &z) in prow.iter_mut().zip(zrow) {
+            if z <= 0.0 {
+                *p = 0.0;
+            }
+        }
+    }
+}
+
+/// [`delta_kernel`] compiled with AVX2 enabled.
+///
+/// # Safety
+/// Caller must have verified AVX2 support (`is_x86_feature_detected!`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn delta_kernel_avx2(
+    delta: &[f64],
+    w: &[f64],
+    pre_prev: &[f64],
+    prev: &mut [f64],
+    rows: usize,
+    din: usize,
+    dout: usize,
+) {
+    delta_kernel(delta, w, pre_prev, prev, rows, din, dout);
+}
+
+/// [`layer_kernel`] compiled with AVX-512F enabled (8-wide f64 lanes).
+/// Element-wise vectorisation only — per-output accumulation chains are
+/// unchanged, so results stay bit-identical to the scalar kernel (Rust
+/// does not contract mul+add into FMA).
+///
+/// # Safety
+/// Caller must have verified AVX-512F support
+/// (`is_x86_feature_detected!`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn layer_kernel_avx512(
+    a: &[f64],
+    b: &mut [f64],
+    wt: &[f64],
+    bias: &[f64],
+    n: usize,
+    din: usize,
+) {
+    layer_kernel(a, b, wt, bias, n, din);
+}
+
+/// [`grad_kernel`] compiled with AVX-512F enabled.
+///
+/// # Safety
+/// Caller must have verified AVX-512F support
+/// (`is_x86_feature_detected!`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn grad_kernel_avx512(
+    delta: &[f64],
+    acts: &[f64],
+    gw: &mut [f64],
+    gb: &mut [f64],
+    rows: usize,
+    din: usize,
+) {
+    grad_kernel(delta, acts, gw, gb, rows, din);
+}
+
+/// [`delta_kernel`] compiled with AVX-512F enabled.
+///
+/// # Safety
+/// Caller must have verified AVX-512F support
+/// (`is_x86_feature_detected!`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn delta_kernel_avx512(
+    delta: &[f64],
+    w: &[f64],
+    pre_prev: &[f64],
+    prev: &mut [f64],
+    rows: usize,
+    din: usize,
+    dout: usize,
+) {
+    delta_kernel(delta, w, pre_prev, prev, rows, din, dout);
+}
+
+/// One Adam step over a parameter slice: per element,
+/// `m ← β₁m + (1-β₁)g`, `v ← β₂v + (1-β₂)g²`,
+/// `w ← w - lr·(m/bc₁)/(√(v/bc₂) + ε)`, with `g` pre-scaled by the
+/// batch-mean factor. Exactly the reference trainer's update, element for
+/// element — every lane runs the identical operation chain and IEEE
+/// division/square root are correctly rounded at any vector width, so the
+/// vectorised wrappers below produce bit-identical parameters. Worth
+/// dispatching: the div+sqrt dependency chains make this update a fixed
+/// per-step cost comparable to a layer's forward pass.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn adam_kernel(
+    w: &mut [f64],
+    m: &mut [f64],
+    v: &mut [f64],
+    g: &[f64],
+    scale: f64,
+    lr: f64,
+    bc1: f64,
+    bc2: f64,
+) {
+    for (((w, m), v), &g) in w.iter_mut().zip(m.iter_mut()).zip(v.iter_mut()).zip(g) {
+        let g = g * scale;
+        *m = BETA1 * *m + (1.0 - BETA1) * g;
+        *v = BETA2 * *v + (1.0 - BETA2) * g * g;
+        *w -= lr * (*m / bc1) / ((*v / bc2).sqrt() + EPS);
+    }
+}
+
+/// [`adam_kernel`] compiled with AVX2 enabled.
+///
+/// # Safety
+/// Caller must have verified AVX2 support (`is_x86_feature_detected!`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn adam_kernel_avx2(
+    w: &mut [f64],
+    m: &mut [f64],
+    v: &mut [f64],
+    g: &[f64],
+    scale: f64,
+    lr: f64,
+    bc1: f64,
+    bc2: f64,
+) {
+    adam_kernel(w, m, v, g, scale, lr, bc1, bc2);
+}
+
+/// [`adam_kernel`] compiled with AVX-512F enabled.
+///
+/// # Safety
+/// Caller must have verified AVX-512F support
+/// (`is_x86_feature_detected!`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn adam_kernel_avx512(
+    w: &mut [f64],
+    m: &mut [f64],
+    v: &mut [f64],
+    g: &[f64],
+    scale: f64,
+    lr: f64,
+    bc1: f64,
+    bc2: f64,
+) {
+    adam_kernel(w, m, v, g, scale, lr, bc1, bc2);
+}
+
+/// Runtime SIMD tier for the training kernels, detected once per `train`
+/// call. Every tier runs the same element-wise operation sequence — the
+/// tier changes vector width, never accumulation order — so trained
+/// weights are identical across hosts.
+#[derive(Clone, Copy, PartialEq)]
+enum Simd {
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    Scalar,
+}
+
+impl Simd {
+    fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return Simd::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return Simd::Avx2;
+            }
+        }
+        Simd::Scalar
+    }
+
+    #[inline]
+    fn layer(self, a: &[f64], b: &mut [f64], wt: &[f64], bias: &[f64], n: usize, din: usize) {
+        match self {
+            // SAFETY: variants are selected only after runtime feature
+            // detection in `detect`.
+            #[cfg(target_arch = "x86_64")]
+            Simd::Avx512 => unsafe { layer_kernel_avx512(a, b, wt, bias, n, din) },
+            #[cfg(target_arch = "x86_64")]
+            Simd::Avx2 => unsafe { layer_kernel_avx2(a, b, wt, bias, n, din) },
+            Simd::Scalar => layer_kernel(a, b, wt, bias, n, din),
+        }
+    }
+
+    #[inline]
+    fn grad(self, delta: &[f64], acts: &[f64], gw: &mut [f64], gb: &mut [f64], rows: usize, din: usize) {
+        match self {
+            // SAFETY: variants are selected only after runtime feature
+            // detection in `detect`.
+            #[cfg(target_arch = "x86_64")]
+            Simd::Avx512 => unsafe { grad_kernel_avx512(delta, acts, gw, gb, rows, din) },
+            #[cfg(target_arch = "x86_64")]
+            Simd::Avx2 => unsafe { grad_kernel_avx2(delta, acts, gw, gb, rows, din) },
+            Simd::Scalar => grad_kernel(delta, acts, gw, gb, rows, din),
+        }
+    }
+
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn delta(
+        self,
+        delta: &[f64],
+        w: &[f64],
+        pre_prev: &[f64],
+        prev: &mut [f64],
+        rows: usize,
+        din: usize,
+        dout: usize,
+    ) {
+        match self {
+            // SAFETY: variants are selected only after runtime feature
+            // detection in `detect`.
+            #[cfg(target_arch = "x86_64")]
+            Simd::Avx512 => unsafe { delta_kernel_avx512(delta, w, pre_prev, prev, rows, din, dout) },
+            #[cfg(target_arch = "x86_64")]
+            Simd::Avx2 => unsafe { delta_kernel_avx2(delta, w, pre_prev, prev, rows, din, dout) },
+            Simd::Scalar => delta_kernel(delta, w, pre_prev, prev, rows, din, dout),
+        }
+    }
+
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn adam(
+        self,
+        w: &mut [f64],
+        m: &mut [f64],
+        v: &mut [f64],
+        g: &[f64],
+        scale: f64,
+        lr: f64,
+        bc1: f64,
+        bc2: f64,
+    ) {
+        match self {
+            // SAFETY: variants are selected only after runtime feature
+            // detection in `detect`.
+            #[cfg(target_arch = "x86_64")]
+            Simd::Avx512 => unsafe { adam_kernel_avx512(w, m, v, g, scale, lr, bc1, bc2) },
+            #[cfg(target_arch = "x86_64")]
+            Simd::Avx2 => unsafe { adam_kernel_avx2(w, m, v, g, scale, lr, bc1, bc2) },
+            Simd::Scalar => adam_kernel(w, m, v, g, scale, lr, bc1, bc2),
+        }
+    }
+}
+
+/// Forward one chunk of rows through the network and back-propagate its
+/// gradient partial sums into `st.gw`/`st.gb` (cleared first).
+///
+/// The forward pass is the inference engine's batched kernel, so the
+/// pre-activations equal the scalar reference's per-sample forward bit for
+/// bit; the backward kernels accumulate every weight's terms in the same
+/// (sample-major, ascending-index) order as the reference. The only
+/// float-order difference from the pre-refactor trainer is therefore how
+/// chunk partials join across a minibatch — see `Mlp::train`.
+#[allow(clippy::too_many_arguments)]
+fn chunk_forward_backward(
+    layers: &[Dense],
+    wt: &[Vec<f64>],
+    simd: Simd,
+    xs: &[f64],
+    targets: &[f64],
+    rows: usize,
+    quantile: Option<f64>,
+    st: &mut ChunkGrads,
+) {
+    let n_layers = layers.len();
+    let ChunkGrads {
+        acts,
+        pre,
+        delta,
+        gw,
+        gb,
+    } = st;
+    for g in gw.iter_mut() {
+        g.fill(0.0);
+    }
+    for g in gb.iter_mut() {
+        g.fill(0.0);
+    }
+    // Forward. Layer 0 reads the caller's rows in place; buffers are only
+    // re-zeroed when the chunk width changes (the kernels overwrite every
+    // cell they read).
+    for l in 0..n_layers {
+        let (din, dout) = (layers[l].in_dim, layers[l].out_dim);
+        let need = rows * dout;
+        if pre[l].len() != need {
+            pre[l].resize(need, 0.0);
+        }
+        let inp: &[f64] = if l == 0 { xs } else { &acts[l - 1] };
+        simd.layer(inp, &mut pre[l], &wt[l], &layers[l].b, rows, din);
+        if l + 1 < n_layers {
+            let dst = &mut acts[l];
+            if dst.len() != need {
+                dst.resize(need, 0.0);
+            }
+            for (d, &s) in dst.iter_mut().zip(&pre[l]) {
+                *d = s.max(0.0);
+            }
+        }
+    }
+    // The output layer has width 1: `pre[last]` holds one scalar per row.
+    let dlast = &mut delta[n_layers - 1];
+    if dlast.len() != rows {
+        dlast.resize(rows, 0.0);
+    }
+    let outs = &pre[n_layers - 1][..rows];
+    match quantile {
+        // d(MSE)/d(out).
+        None => {
+            for (d, (&out, &t)) in dlast.iter_mut().zip(outs.iter().zip(targets)) {
+                *d = 2.0 * (out - t);
+            }
+        }
+        // Pinball loss sub-gradient, scaled to keep the effective learning
+        // rate comparable to MSE.
+        Some(tau) => {
+            for (d, (&out, &t)) in dlast.iter_mut().zip(outs.iter().zip(targets)) {
+                *d = if out < t { -2.0 * tau } else { 2.0 * (1.0 - tau) };
+            }
+        }
+    }
+    for l in (0..n_layers).rev() {
+        let layer = &layers[l];
+        let inp: &[f64] = if l == 0 { xs } else { &acts[l - 1] };
+        simd.grad(&delta[l], inp, &mut gw[l], &mut gb[l], rows, layer.in_dim);
+        if l > 0 {
+            let (lo, hi) = delta.split_at_mut(l);
+            let prev = &mut lo[l - 1];
+            let need = rows * layer.in_dim;
+            if prev.len() != need {
+                prev.resize(need, 0.0);
+            }
+            simd.delta(
+                &hi[0],
+                &layer.w,
+                &pre[l - 1],
+                prev,
+                rows,
+                layer.in_dim,
+                layer.out_dim,
+            );
+        }
+    }
+}
+
+/// Compute one minibatch's summed (not yet batch-mean-scaled) gradients
+/// into `gw`/`gb`: split the rows into fixed [`GRAD_CHUNK`]-sized chunks,
+/// fill each chunk's partial sums (on the worker pool unless `serial`),
+/// then reduce the partials in ascending chunk order. The chunk split and
+/// the reduction order depend only on `rows`, so the result is bit-
+/// identical at any worker count.
+#[allow(clippy::too_many_arguments)]
+fn minibatch_grads(
+    layers: &[Dense],
+    wt: &[Vec<f64>],
+    simd: Simd,
+    xb: &[f64],
+    tb: &[f64],
+    in_dim: usize,
+    quantile: Option<f64>,
+    serial: bool,
+    chunk_states: &[std::sync::Mutex<ChunkGrads>],
+    gw: &mut [Vec<f64>],
+    gb: &mut [Vec<f64>],
+) {
+    let rows = tb.len();
+    let n_chunks = rows.div_ceil(GRAD_CHUNK);
+    debug_assert!(n_chunks <= chunk_states.len());
+    for g in gw.iter_mut() {
+        g.fill(0.0);
+    }
+    for g in gb.iter_mut() {
+        g.fill(0.0);
+    }
+    let reduce = |st: &ChunkGrads, gw: &mut [Vec<f64>], gb: &mut [Vec<f64>]| {
+        for l in 0..layers.len() {
+            for (g, p) in gw[l].iter_mut().zip(&st.gw[l]) {
+                *g += p;
+            }
+            for (g, p) in gb[l].iter_mut().zip(&st.gb[l]) {
+                *g += p;
+            }
+        }
+    };
+    let chunk_rows = |c: usize| {
+        let lo = c * GRAD_CHUNK;
+        (lo, (lo + GRAD_CHUNK).min(rows))
+    };
+    if serial || n_chunks == 1 {
+        // Single-threaded: run every chunk through one state and fold its
+        // partials into the accumulators right away. Same chunk partials,
+        // same chunk-order summation tree as the pooled path below — so
+        // bit-identical results — but one hot ~L1-sized scratch instead of
+        // `n_chunks` cold ones per minibatch.
+        let st = &mut *chunk_states[0].lock().unwrap();
+        for c in 0..n_chunks {
+            let (lo, hi) = chunk_rows(c);
+            chunk_forward_backward(
+                layers,
+                wt,
+                simd,
+                &xb[lo * in_dim..hi * in_dim],
+                &tb[lo..hi],
+                hi - lo,
+                quantile,
+                st,
+            );
+            reduce(st, gw, gb);
+        }
+    } else {
+        let task = |c: usize| {
+            let (lo, hi) = chunk_rows(c);
+            let st = &mut *chunk_states[c].lock().unwrap();
+            chunk_forward_backward(
+                layers,
+                wt,
+                simd,
+                &xb[lo * in_dim..hi * in_dim],
+                &tb[lo..hi],
+                hi - lo,
+                quantile,
+                st,
+            );
+        };
+        rayon::pool::run(n_chunks, &task);
+        for state in chunk_states.iter().take(n_chunks) {
+            reduce(&state.lock().unwrap(), gw, gb);
+        }
+    }
+}
+
 impl Mlp {
     /// Train on `data` with the given config.
+    ///
+    /// Minibatch matrix form of the original per-sample trainer (preserved
+    /// verbatim as [`Mlp::train_reference`]): each minibatch is packed into
+    /// a row matrix, forwarded through the inference engine's batched
+    /// AVX2-dispatched kernels, and back-propagated with batched gradient
+    /// kernels. Gradients are computed per fixed [`GRAD_CHUNK`]-row chunk
+    /// (fanned out over the worker pool unless `cfg.serial`) and reduced in
+    /// chunk-index order, so the trained weights are bit-identical at any
+    /// thread count. RNG consumption (init + per-epoch shuffle) and the
+    /// Adam update match the reference exactly; within a chunk every
+    /// weight's gradient terms accumulate in the reference's sample-major
+    /// order, so the only numeric difference from the reference is the
+    /// cross-chunk summation tree (≤ ~1e-9 per step for minibatches wider
+    /// than one chunk; bit-identical otherwise).
     ///
     /// # Panics
     /// Panics on an empty dataset.
     pub fn train(data: &Dataset, cfg: &MlpConfig) -> Mlp {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let mut rng = SeededRng::new(cfg.seed);
+        let dims: Vec<usize> = std::iter::once(data.dim())
+            .chain(cfg.hidden.iter().copied())
+            .chain(std::iter::once(1))
+            .collect();
+        let mut layers: Vec<Dense> = dims
+            .windows(2)
+            .map(|w| Dense::new(w[0], w[1], &mut rng))
+            .collect();
+        let y_mean = data.y_mean();
+        let y_std = data.y_std();
+        let in_dim = data.dim();
+
+        let n = data.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let simd = Simd::detect();
+        // The chunked reduction makes weights bit-identical under any
+        // dispatch, so dispatch is a pure perf choice: skip the pool when
+        // it cannot add concurrency (single-core host: one pool worker plus
+        // the caller time-share one CPU, paying context switches per
+        // minibatch for nothing).
+        let serial = cfg.serial || rayon::pool::max_concurrency() <= 2;
+        let mut wt: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+        refresh_transposed(&layers, &mut wt);
+        let batch = cfg.batch_size.max(1);
+        let chunk_states: Vec<std::sync::Mutex<ChunkGrads>> = (0..batch.div_ceil(GRAD_CHUNK))
+            .map(|_| std::sync::Mutex::new(ChunkGrads::new(&layers)))
+            .collect();
+        let mut gw: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+        let mut gb: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+        let mut xb: Vec<f64> = Vec::with_capacity(batch * in_dim);
+        let mut tb: Vec<f64> = Vec::with_capacity(batch);
+        let mut t_step = 0usize;
+
+        for _epoch in 0..cfg.epochs {
+            rng.shuffle(&mut order);
+            for chunk in order.chunks(cfg.batch_size) {
+                xb.clear();
+                tb.clear();
+                for &i in chunk {
+                    xb.extend_from_slice(&data.x[i]);
+                    tb.push((data.y[i] - y_mean) / y_std);
+                }
+                minibatch_grads(
+                    &layers,
+                    &wt,
+                    simd,
+                    &xb,
+                    &tb,
+                    in_dim,
+                    cfg.quantile,
+                    serial,
+                    &chunk_states,
+                    &mut gw,
+                    &mut gb,
+                );
+                // Adam update with batch-mean gradients — the reference
+                // trainer's update element for element, run through the
+                // SIMD-dispatched kernel (see `adam_kernel` for why that
+                // is bit-identical).
+                t_step += 1;
+                let scale = 1.0 / chunk.len() as f64;
+                let bc1 = 1.0 - BETA1.powi(t_step as i32);
+                let bc2 = 1.0 - BETA2.powi(t_step as i32);
+                for (l, layer) in layers.iter_mut().enumerate() {
+                    simd.adam(
+                        &mut layer.w,
+                        &mut layer.mw,
+                        &mut layer.vw,
+                        &gw[l],
+                        scale,
+                        cfg.lr,
+                        bc1,
+                        bc2,
+                    );
+                    simd.adam(
+                        &mut layer.b,
+                        &mut layer.mb,
+                        &mut layer.vb,
+                        &gb[l],
+                        scale,
+                        cfg.lr,
+                        bc1,
+                        bc2,
+                    );
+                }
+                refresh_transposed(&layers, &mut wt);
+            }
+        }
+        Mlp::assemble(layers, y_mean, y_std)
+    }
+
+    /// The pre-refactor scalar trainer, preserved verbatim as the golden
+    /// reference for [`Mlp::train`]: one sample at a time, per-sample
+    /// forward/backward, gradients folded in sample order. The golden
+    /// trainer test and `train_bench` compare against it; it is not used
+    /// by production paths.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    // Preserved verbatim (golden reference) — exempt from loop-style lints.
+    #[allow(clippy::needless_range_loop)]
+    pub fn train_reference(data: &Dataset, cfg: &MlpConfig) -> Mlp {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
         let mut rng = SeededRng::new(cfg.seed);
         let dims: Vec<usize> = std::iter::once(data.dim())
@@ -512,7 +1233,10 @@ impl Mlp {
         Ok(Mlp::assemble(layers, y_mean, y_std))
     }
 
-    pub(crate) fn raw_params(&self) -> Vec<f64> {
+    /// Flatten every layer's weights then biases, in layer order — the
+    /// layout [`Mlp::from_raw`] accepts and the persistence format stores.
+    /// Public so external tests can compare trained models parameter-wise.
+    pub fn raw_params(&self) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.param_count());
         for l in &self.layers {
             out.extend_from_slice(&l.w);
@@ -566,6 +1290,163 @@ impl LatencyModel for Mlp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    /// Per-sample scalar gradient reference mirroring the inner loop of
+    /// [`Mlp::train_reference`]: fold every sample's forward/backward into
+    /// the accumulators in sample order.
+    #[allow(clippy::needless_range_loop)]
+    fn scalar_grads(
+        layers: &[Dense],
+        xs: &[f64],
+        targets: &[f64],
+        in_dim: usize,
+        quantile: Option<f64>,
+    ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let n_layers = layers.len();
+        let mut acts: Vec<Vec<f64>> = vec![Vec::new(); n_layers + 1];
+        let mut pre: Vec<Vec<f64>> = vec![Vec::new(); n_layers];
+        let mut deltas: Vec<Vec<f64>> = vec![Vec::new(); n_layers];
+        let mut gw: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+        let mut gb: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+        for (r, &target) in targets.iter().enumerate() {
+            acts[0].clear();
+            acts[0].extend_from_slice(&xs[r * in_dim..(r + 1) * in_dim]);
+            for (l, layer) in layers.iter().enumerate() {
+                let (head, tail) = acts.split_at_mut(l + 1);
+                layer.forward(&head[l], &mut pre[l]);
+                tail[0].clear();
+                if l + 1 < n_layers {
+                    tail[0].extend(pre[l].iter().map(|&v| v.max(0.0)));
+                } else {
+                    tail[0].extend_from_slice(&pre[l]);
+                }
+            }
+            let out = acts[n_layers][0];
+            let dloss = match quantile {
+                None => 2.0 * (out - target),
+                Some(tau) => {
+                    if out < target {
+                        -2.0 * tau
+                    } else {
+                        2.0 * (1.0 - tau)
+                    }
+                }
+            };
+            deltas[n_layers - 1].clear();
+            deltas[n_layers - 1].push(dloss);
+            for l in (0..n_layers).rev() {
+                let layer = &layers[l];
+                for o in 0..layer.out_dim {
+                    let d = deltas[l][o];
+                    gb[l][o] += d;
+                    let grow = &mut gw[l][o * layer.in_dim..(o + 1) * layer.in_dim];
+                    for (gv, &a) in grow.iter_mut().zip(&acts[l]) {
+                        *gv += d * a;
+                    }
+                }
+                if l > 0 {
+                    let (lo, hi) = deltas.split_at_mut(l);
+                    let dl = &hi[0];
+                    let prev = &mut lo[l - 1];
+                    prev.clear();
+                    prev.resize(layer.in_dim, 0.0);
+                    for o in 0..layer.out_dim {
+                        let d = dl[o];
+                        let row = &layer.w[o * layer.in_dim..(o + 1) * layer.in_dim];
+                        for (p, &w) in prev.iter_mut().zip(row) {
+                            *p += d * w;
+                        }
+                    }
+                    for (p, &z) in prev.iter_mut().zip(&pre[l - 1]) {
+                        if z <= 0.0 {
+                            *p = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+        (gw, gb)
+    }
+
+    fn run_minibatch(
+        layers: &[Dense],
+        xs: &[f64],
+        targets: &[f64],
+        in_dim: usize,
+        quantile: Option<f64>,
+        serial: bool,
+    ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut wt: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+        refresh_transposed(layers, &mut wt);
+        let states: Vec<std::sync::Mutex<ChunkGrads>> = (0..targets.len().div_ceil(GRAD_CHUNK))
+            .map(|_| std::sync::Mutex::new(ChunkGrads::new(layers)))
+            .collect();
+        let mut gw: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+        let mut gb: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+        minibatch_grads(
+            layers,
+            &wt,
+            Simd::detect(),
+            xs,
+            targets,
+            in_dim,
+            quantile,
+            serial,
+            &states,
+            &mut gw,
+            &mut gb,
+        );
+        (gw, gb)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The batched chunked gradient pipeline agrees with the scalar
+        /// per-sample reference to 1e-9 across random layer shapes, batch
+        /// sizes and both losses — and its serial and pooled dispatch paths
+        /// agree with each other bit for bit.
+        #[test]
+        fn minibatch_grads_match_scalar_reference(
+            seed in 0u64..1024,
+            in_dim in 1usize..6,
+            hidden in proptest::collection::vec(1usize..9, 0..3),
+            rows in 1usize..41,
+            tau in (0usize..2, 0.05f64..0.95).prop_map(|(m, t)| (m == 1).then_some(t)),
+        ) {
+            let mut rng = SeededRng::new(seed);
+            let dims: Vec<usize> = std::iter::once(in_dim)
+                .chain(hidden)
+                .chain(std::iter::once(1))
+                .collect();
+            let layers: Vec<Dense> = dims
+                .windows(2)
+                .map(|w| Dense::new(w[0], w[1], &mut rng))
+                .collect();
+            // Sparse-ish inputs (~25% zeros) exercise the zero-skip in the
+            // forward and gradient kernels.
+            let xs: Vec<f64> = (0..rows * in_dim)
+                .map(|_| if rng.f64() < 0.25 { 0.0 } else { 2.0 * rng.f64() - 1.0 })
+                .collect();
+            let targets: Vec<f64> = (0..rows).map(|_| 2.0 * rng.f64() - 1.0).collect();
+
+            let (sgw, sgb) = scalar_grads(&layers, &xs, &targets, in_dim, tau);
+            let (gw_ser, gb_ser) = run_minibatch(&layers, &xs, &targets, in_dim, tau, true);
+            let (gw_par, gb_par) = run_minibatch(&layers, &xs, &targets, in_dim, tau, false);
+
+            prop_assert_eq!(&gw_ser, &gw_par, "serial vs pooled weight grads");
+            prop_assert_eq!(&gb_ser, &gb_par, "serial vs pooled bias grads");
+            for l in 0..layers.len() {
+                for (j, (g, s)) in gw_ser[l].iter().zip(&sgw[l]).enumerate() {
+                    prop_assert!((g - s).abs() <= 1e-9, "layer {} gw[{}]: {} vs {}", l, j, g, s);
+                }
+                for (j, (g, s)) in gb_ser[l].iter().zip(&sgb[l]).enumerate() {
+                    prop_assert!((g - s).abs() <= 1e-9, "layer {} gb[{}]: {} vs {}", l, j, g, s);
+                }
+            }
+        }
+    }
 
     /// y = 3*x0 + relu-ish non-linearity of x1.
     fn synthetic(n: usize, seed: u64) -> Dataset {
@@ -593,6 +1474,7 @@ mod tests {
                 lr: 2e-3,
                 seed: 3,
                 quantile: None,
+                serial: false,
             },
         );
         let mape = crate::eval::mape(&mlp, &test);

@@ -9,7 +9,7 @@
 use crate::mlp::Mlp;
 use std::fs;
 use std::io::{self, Write as _};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Magic first line of the format.
 const MAGIC: &str = "abacus-mlp-v1";
@@ -79,6 +79,45 @@ pub fn load(path: impl AsRef<Path>) -> Result<Mlp, String> {
     from_str(&text)
 }
 
+/// Load a cached model from `path`, falling back to `build` on *any*
+/// failure — missing file, bad magic, truncation, corrupt parameters. The
+/// boolean reports whether the cache was hit, so callers can log and
+/// decide whether to re-save.
+pub fn load_or_else(path: impl AsRef<Path>, build: impl FnOnce() -> Mlp) -> (Mlp, bool) {
+    match load(path) {
+        Ok(m) => (m, true),
+        Err(_) => (build(), false),
+    }
+}
+
+/// Path of the sidecar holding the calibrated prediction-round latency for
+/// the model at `model_path`: same stem, `.round_ms` extension.
+pub fn round_ms_path(model_path: impl AsRef<Path>) -> PathBuf {
+    model_path.as_ref().with_extension("round_ms")
+}
+
+/// Write the round-latency sidecar next to `model_path`, creating parent
+/// directories.
+pub fn save_round_ms(model_path: impl AsRef<Path>, round_ms: f64) -> io::Result<()> {
+    let path = round_ms_path(model_path);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    fs::write(path, format!("{round_ms}\n"))
+}
+
+/// Read the round-latency sidecar next to `model_path`. `None` unless the
+/// file exists and parses to a finite positive number — a corrupt sidecar
+/// degrades to recalibration, never to a poisoned config.
+pub fn load_round_ms(model_path: impl AsRef<Path>) -> Option<f64> {
+    fs::read_to_string(round_ms_path(model_path))
+        .ok()
+        .and_then(|s| s.trim().parse::<f64>().ok())
+        .filter(|v| v.is_finite() && *v > 0.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +162,67 @@ mod tests {
         assert!(from_str(&text).is_err());
         let truncated: String = to_string(&mlp).lines().take(5).collect::<Vec<_>>().join("\n");
         assert!(from_str(&truncated).is_err());
+    }
+
+    #[test]
+    fn model_and_sidecar_roundtrip() {
+        let mlp = tiny_mlp();
+        let dir = std::env::temp_dir().join("abacus_persist_sidecar_test");
+        let model_path = dir.join("model.mlp");
+        save(&mlp, &model_path).unwrap();
+        save_round_ms(&model_path, 0.0625).unwrap();
+        assert_eq!(round_ms_path(&model_path), dir.join("model.round_ms"));
+        let back = load(&model_path).unwrap();
+        assert_eq!(mlp.predict_one(&[0.2, 0.8]), back.predict_one(&[0.2, 0.8]));
+        assert_eq!(load_round_ms(&model_path), Some(0.0625));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_sidecar_degrades_to_none() {
+        let dir = std::env::temp_dir().join("abacus_persist_badsidecar_test");
+        let model_path = dir.join("model.mlp");
+        // Missing sidecar.
+        assert_eq!(load_round_ms(&model_path), None);
+        // Unparsable, non-finite and non-positive values.
+        for bad in ["garbage", "NaN", "inf", "-1.5", "0"] {
+            save_round_ms(&model_path, 1.0).unwrap();
+            std::fs::write(round_ms_path(&model_path), bad).unwrap();
+            assert_eq!(load_round_ms(&model_path), None, "sidecar {bad:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_or_else_retrains_on_missing_or_corrupt_cache() {
+        let dir = std::env::temp_dir().join("abacus_persist_load_or_else_test");
+        let path = dir.join("model.mlp");
+        let fresh = tiny_mlp();
+
+        // Missing cache: build runs.
+        let (m, cached) = load_or_else(&path, || fresh.clone());
+        assert!(!cached);
+        assert_eq!(m, fresh);
+
+        // Intact cache: build must not run.
+        save(&fresh, &path).unwrap();
+        let (m, cached) = load_or_else(&path, || unreachable!("cache was intact"));
+        assert!(cached);
+        assert_eq!(m.predict_one(&[0.4, 0.6]), fresh.predict_one(&[0.4, 0.6]));
+
+        // Truncated cache: graceful retrain instead of a parse panic.
+        let full = to_string(&fresh);
+        let truncated: String = full.lines().take(8).collect::<Vec<_>>().join("\n");
+        std::fs::write(&path, truncated).unwrap();
+        let (_, cached) = load_or_else(&path, || fresh.clone());
+        assert!(!cached);
+
+        // Corrupted parameter line: same.
+        let corrupted = full + "not-a-number\n";
+        std::fs::write(&path, corrupted).unwrap();
+        let (_, cached) = load_or_else(&path, || fresh.clone());
+        assert!(!cached);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,90 @@
+//! Golden pin for the minibatch matrix-form trainer: [`Mlp::train`] must
+//! reproduce the preserved pre-refactor scalar trainer
+//! ([`Mlp::train_reference`]).
+//!
+//! Two regimes, per DESIGN.md's training-determinism rules:
+//!
+//! - Minibatches of at most one gradient chunk (`batch_size <= 16`)
+//!   reproduce the reference's floating-point accumulation order exactly,
+//!   so the trained weights must match **bit for bit**.
+//! - Wider minibatches differ only in the cross-chunk summation tree, so
+//!   weights must agree to 1e-9 after a short training run.
+//!
+//! A third pin: training with `serial: true` (all gradient chunks on the
+//! calling thread) and `serial: false` (worker-pool fan-out) must produce
+//! bit-identical models — thread-count independence is a hard contract.
+
+use predictor::{Dataset, LatencyModel, Mlp, MlpConfig};
+use workload::SeededRng;
+
+fn synthetic(n: usize, seed: u64) -> Dataset {
+    let mut rng = SeededRng::new(seed);
+    let mut d = Dataset::new();
+    for _ in 0..n {
+        let x: Vec<f64> = (0..6).map(|_| rng.f64()).collect();
+        let y = 8.0 + 25.0 * x[0] + 12.0 * (x[1] - 0.4).max(0.0) + 4.0 * x[2] * x[3];
+        d.push(x, y);
+    }
+    d
+}
+
+#[test]
+fn single_chunk_minibatches_match_reference_bit_for_bit() {
+    let d = synthetic(300, 11);
+    for quantile in [None, Some(0.9)] {
+        let cfg = MlpConfig {
+            epochs: 8,
+            batch_size: 16,
+            quantile,
+            ..MlpConfig::default()
+        };
+        let new = Mlp::train(&d, &cfg);
+        let old = Mlp::train_reference(&d, &cfg);
+        assert_eq!(new, old, "quantile {quantile:?}");
+    }
+}
+
+#[test]
+fn multi_chunk_minibatches_match_reference_within_tolerance() {
+    let d = synthetic(400, 12);
+    let cfg = MlpConfig {
+        epochs: 6,
+        batch_size: 64,
+        ..MlpConfig::default()
+    };
+    let new = Mlp::train(&d, &cfg);
+    let old = Mlp::train_reference(&d, &cfg);
+    assert_eq!(new.dims(), old.dims());
+    let (pn, po) = (new.raw_params(), old.raw_params());
+    for (j, (a, b)) in pn.iter().zip(&po).enumerate() {
+        assert!(
+            (a - b).abs() <= 1e-9,
+            "param {j} drifted: {a} vs {b} (|Δ| = {:e})",
+            (a - b).abs()
+        );
+    }
+    // And the drift is invisible at prediction level.
+    let probe = vec![0.3, 0.7, 0.1, 0.9, 0.5, 0.2];
+    assert!((new.predict_one(&probe) - old.predict_one(&probe)).abs() <= 1e-6);
+}
+
+#[test]
+fn serial_and_pooled_training_are_bit_identical() {
+    let d = synthetic(400, 13);
+    let pooled = Mlp::train(
+        &d,
+        &MlpConfig {
+            epochs: 6,
+            ..MlpConfig::default()
+        },
+    );
+    let serial = Mlp::train(
+        &d,
+        &MlpConfig {
+            epochs: 6,
+            serial: true,
+            ..MlpConfig::default()
+        },
+    );
+    assert_eq!(pooled, serial);
+}

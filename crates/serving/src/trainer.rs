@@ -8,8 +8,30 @@
 
 use dnn_models::{ModelId, ModelLibrary};
 use gpu_sim::{GpuSpec, NoiseModel};
-use predictor::{profile_groups, sample_groups, Dataset, Mlp, MlpConfig, ProfiledGroup};
+use predictor::{
+    profile_group, profile_groups, sample_groups, Dataset, GroupSpec, Mlp, MlpConfig,
+    ProfiledGroup,
+};
+use rayon::prelude::*;
 use workload::fork_seed;
+
+/// Sub-stream indices for per-set seed derivation. Each co-location set's
+/// sampling and profiling RNG streams are
+/// `fork_seed(fork_seed(cfg.seed, label), STREAM)` — nested forks, so the
+/// two streams are disjoint from each other *and* from every other label's
+/// streams. The previous scheme derived the profiling seed as
+/// `fork_seed(cfg.seed, label ^ 0xFFFF)`, which is exactly the *sampling*
+/// seed of label `label ^ 0xFFFF`: any deployment with ≥ 0xFFFF sets (or a
+/// caller passing such labels directly) would profile one set with another
+/// set's sampling stream. Fixing the derivation shifts all trained
+/// predictors and cached artefacts — see DESIGN.md §7.
+const SAMPLE_STREAM: u64 = 0;
+const PROFILE_STREAM: u64 = 1;
+
+/// Seed for one of a set's RNG streams (see [`SAMPLE_STREAM`]).
+fn set_stream_seed(seed: u64, label: u64, stream: u64) -> u64 {
+    fork_seed(fork_seed(seed, label), stream)
+}
 
 /// Configuration of the offline phase.
 #[derive(Debug, Clone)]
@@ -56,13 +78,18 @@ pub fn collect_profiles(
     cfg: &TrainerConfig,
     label: u64,
 ) -> Vec<ProfiledGroup> {
-    let specs = sample_groups(set, cfg.samples_per_set, lib, fork_seed(cfg.seed, label));
+    let specs = sample_groups(
+        set,
+        cfg.samples_per_set,
+        lib,
+        set_stream_seed(cfg.seed, label, SAMPLE_STREAM),
+    );
     profile_groups(
         &specs,
         lib,
         gpu,
         noise,
-        fork_seed(cfg.seed, label ^ 0xFFFF),
+        set_stream_seed(cfg.seed, label, PROFILE_STREAM),
         cfg.runs_per_group,
     )
 }
@@ -83,6 +110,16 @@ pub fn collect_dataset(
 ///
 /// Returns the trained MLP together with the pooled dataset (so callers can
 /// hold out a test split or run cross-validation).
+///
+/// Collection is parallel but deterministic: sampling is serial per set
+/// (cheap), then every `(set, group)` profiling job — by far the dominant
+/// cost — is flattened into one set-major parallel campaign with each
+/// job's seed derived exactly as [`collect_profiles`] derives it, so the
+/// pooled dataset is identical to concatenating [`collect_dataset`] over
+/// the sets serially (asserted by a test below). Flattening instead of
+/// nesting a per-set loop around `profile_groups` keeps a single fan-out
+/// level, which both avoids thread oversubscription and load-balances when
+/// sets have very different per-group costs.
 pub fn train_unified(
     sets: &[Vec<ModelId>],
     lib: &ModelLibrary,
@@ -91,10 +128,34 @@ pub fn train_unified(
     cfg: &TrainerConfig,
 ) -> (Mlp, Dataset) {
     assert!(!sets.is_empty());
-    let mut data = Dataset::new();
-    for (i, set) in sets.iter().enumerate() {
-        data.extend(collect_dataset(set, lib, gpu, noise, cfg, i as u64));
-    }
+    let specs_per_set: Vec<Vec<GroupSpec>> = sets
+        .iter()
+        .enumerate()
+        .map(|(i, set)| {
+            sample_groups(
+                set,
+                cfg.samples_per_set,
+                lib,
+                set_stream_seed(cfg.seed, i as u64, SAMPLE_STREAM),
+            )
+        })
+        .collect();
+    let jobs: Vec<(&GroupSpec, u64)> = specs_per_set
+        .iter()
+        .enumerate()
+        .flat_map(|(i, specs)| {
+            let profile_seed = set_stream_seed(cfg.seed, i as u64, PROFILE_STREAM);
+            specs
+                .iter()
+                .enumerate()
+                .map(move |(g, spec)| (spec, fork_seed(profile_seed, g as u64)))
+        })
+        .collect();
+    let profiled: Vec<ProfiledGroup> = jobs
+        .par_iter()
+        .map(|(spec, seed)| profile_group(spec, lib, gpu, noise, *seed, cfg.runs_per_group))
+        .collect();
+    let data = Dataset::from_profiles(&profiled, lib);
     let mlp = Mlp::train(&data, &cfg.mlp);
     (mlp, data)
 }
@@ -131,6 +192,51 @@ mod tests {
         // prove the pipeline works.
         assert!(err < 0.12, "mape {err}");
         let _ = mlp.name();
+    }
+
+    #[test]
+    fn parallel_collection_matches_serial_concat() {
+        // The flattened parallel campaign in `train_unified` must produce
+        // exactly the dataset a serial per-set `collect_dataset` loop
+        // produces — same samples, same order, same bits.
+        let lib = ModelLibrary::new();
+        let gpu = GpuSpec::a100();
+        let noise = NoiseModel::calibrated();
+        let sets = vec![
+            vec![ModelId::ResNet50, ModelId::Bert],
+            vec![ModelId::InceptionV3, ModelId::Vgg16],
+            vec![ModelId::ResNet101],
+        ];
+        let cfg = TrainerConfig {
+            samples_per_set: 30,
+            runs_per_group: 2,
+            mlp: MlpConfig::fast(),
+            seed: 17,
+        };
+        let (_, pooled) = train_unified(&sets, &lib, &gpu, &noise, &cfg);
+        let mut serial = Dataset::new();
+        for (i, set) in sets.iter().enumerate() {
+            serial.extend(collect_dataset(set, &lib, &gpu, &noise, &cfg, i as u64));
+        }
+        assert_eq!(pooled.x, serial.x);
+        assert_eq!(pooled.y, serial.y);
+    }
+
+    #[test]
+    fn sampling_and_profiling_streams_are_disjoint() {
+        // Regression guard for the old `label ^ 0xFFFF` derivation, under
+        // which one label's profiling seed collided with another label's
+        // sampling seed.
+        let labels = [0u64, 1, 2, 0xFFFF, 0xFFFE, 0x1_0000];
+        let mut seen = std::collections::HashSet::new();
+        for &label in &labels {
+            for stream in [SAMPLE_STREAM, PROFILE_STREAM] {
+                assert!(
+                    seen.insert(set_stream_seed(0xAB, label, stream)),
+                    "seed collision at label {label} stream {stream}"
+                );
+            }
+        }
     }
 
     #[test]

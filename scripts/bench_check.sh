@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Quick perf regression gate for the two perf-tracked paths:
+# Quick perf regression gate for the perf-tracked paths:
 #
 #   * the batched MLP inference microbench (BENCH_search.json)
 #   * the serving substrate: executor groups/sec + fig14 cell wall time
 #     (BENCH_serving.json)
+#   * cold-start offline training: minibatch trainer throughput and the
+#     serial/pooled weight-identity contract (BENCH_train.json)
 #
 # Each bench re-measures itself in quick mode and fails (exit 1) if it
 # regressed by more than 2x against its committed baseline. Regenerate a
@@ -11,13 +13,15 @@
 #
 #   cargo run --release -p bench --bin search_bench
 #   cargo run --release -p bench --bin serving_bench -- --baseline-gps <old>
+#   cargo run --release -p bench --bin train_bench
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SEARCH_BASELINE="${1:-BENCH_search.json}"
 SERVING_BASELINE="${2:-BENCH_serving.json}"
+TRAIN_BASELINE="${3:-BENCH_train.json}"
 
-for f in "$SEARCH_BASELINE" "$SERVING_BASELINE"; do
+for f in "$SEARCH_BASELINE" "$SERVING_BASELINE" "$TRAIN_BASELINE"; do
     if [[ ! -f "$f" ]]; then
         echo "baseline $f not found — generate it first (see header of $0)" >&2
         exit 2
@@ -26,4 +30,5 @@ done
 
 cargo run --release -q -p bench --bin search_bench -- --quick --check "$SEARCH_BASELINE"
 cargo run --release -q -p bench --bin serving_bench -- --quick --check "$SERVING_BASELINE"
+cargo run --release -q -p bench --bin train_bench -- --quick --check "$TRAIN_BASELINE"
 echo "all bench gates passed"

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Full local CI: build everything, run the whole test suite, then the two
-# perf regression gates. This is what a commit must pass.
+# Full local CI: build everything, lint, run the whole test suite, then
+# the perf regression gates. This is what a commit must pass.
 #
 #   scripts/ci.sh
 set -euo pipefail
@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 
 echo "== build (release, all targets) =="
 cargo build --release --workspace --all-targets
+
+echo "== clippy =="
+cargo clippy -q --workspace -- -D warnings
 
 echo "== tests =="
 cargo test -q

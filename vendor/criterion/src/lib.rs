@@ -64,7 +64,7 @@ impl Bencher<'_> {
         let target_ns = if quick { 1e5 } else { 1e6 };
         let iters = ((target_ns / est_ns).ceil() as usize).clamp(1, 1_000_000);
         let samples = if quick {
-            self.sample_size.min(5).max(3)
+            self.sample_size.clamp(3, 5)
         } else {
             self.sample_size
         };

@@ -9,6 +9,8 @@
 
 use std::num::NonZeroUsize;
 
+pub mod pool;
+
 pub mod prelude {
     pub use crate::IntoParallelIterator;
     pub use crate::IntoParallelRefIterator;

@@ -1,0 +1,215 @@
+//! A persistent worker pool for fine-grained, repeated fan-outs.
+//!
+//! The scoped-thread bridge in the crate root (`par_iter` and friends)
+//! spawns OS threads per call, which is fine for coarse work (profiling
+//! campaigns, figure sweeps: milliseconds-to-seconds per task) but far too
+//! expensive for the minibatch-training inner loop, where one fan-out of a
+//! few ~100 µs gradient chunks happens per optimiser step, hundreds of
+//! thousands of times per training run. [`run`] instead dispatches task
+//! indices to a process-wide pool of parked workers, so the steady-state
+//! cost of a fan-out is one condvar notification.
+//!
+//! Determinism: [`run`] only distributes *indices* `0..n`; which thread
+//! executes which index is racy by design, so callers must make task
+//! outputs depend on the index alone (e.g. write into per-index slots).
+//! Under that contract results are independent of worker count and of
+//! scheduling, which is what the training pipeline's fixed-chunk gradient
+//! reduction relies on.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// One published fan-out: a type-erased task body plus claim/completion
+/// counters. The closure reference is only dereferenced while the
+/// publishing [`run`] call is blocked waiting for `remaining` to reach
+/// zero, so the (lifetime-erased) borrow is live for every invocation.
+struct Job {
+    f: &'static (dyn Fn(usize) + Sync),
+    n: usize,
+    /// Next unclaimed task index.
+    next: AtomicUsize,
+    /// Tasks claimed-and-not-yet-finished plus unclaimed tasks.
+    remaining: AtomicUsize,
+}
+
+impl Job {
+    /// Claim and execute task indices until none are left. Returns after
+    /// this thread can make no further progress on the job; other threads
+    /// may still be finishing their claimed indices.
+    fn work(&self, shared: &Shared) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n {
+                return;
+            }
+            (self.f)(i);
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last task overall: wake the publisher. Taking the lock
+                // orders the notify after the publisher's re-check, so the
+                // wake-up cannot be lost.
+                let _guard = shared.done.lock().unwrap();
+                shared.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// State shared between the publisher and the workers.
+struct Shared {
+    /// Monotonic job generation + the current job, if any.
+    slot: Mutex<(u64, Option<Arc<Job>>)>,
+    work_cv: Condvar,
+    done: Mutex<()>,
+    done_cv: Condvar,
+}
+
+struct Pool {
+    shared: Arc<Shared>,
+    workers: usize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let shared = Arc::new(Shared {
+            slot: Mutex::new((0, None)),
+            work_cv: Condvar::new(),
+            done: Mutex::new(()),
+            done_cv: Condvar::new(),
+        });
+        // At least one worker even on a single-core host, so the parallel
+        // dispatch path (and the determinism contract it depends on) is
+        // exercised everywhere, not only on big machines.
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get().saturating_sub(1))
+            .unwrap_or(0)
+            .max(1);
+        for w in 0..workers {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("abacus-pool-{w}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn pool worker");
+        }
+        Pool { shared, workers }
+    })
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen_gen = 0u64;
+    loop {
+        let job = {
+            let mut guard = shared.slot.lock().unwrap();
+            loop {
+                if guard.0 != seen_gen {
+                    seen_gen = guard.0;
+                    if let Some(job) = guard.1.clone() {
+                        break job;
+                    }
+                }
+                guard = shared.work_cv.wait(guard).unwrap();
+            }
+        };
+        job.work(shared);
+    }
+}
+
+/// Number of threads a pooled fan-out can use (workers + the caller).
+pub fn max_concurrency() -> usize {
+    pool().workers + 1
+}
+
+/// Execute `f(0)`, `f(1)`, …, `f(n - 1)` across the worker pool, with the
+/// calling thread participating. Blocks until every invocation has
+/// returned.
+///
+/// Only one fan-out runs at a time: a nested or concurrent `run` call
+/// (including from inside a task body) executes its tasks inline on the
+/// calling thread instead — same results under the indices-only contract,
+/// and immune to pool-starvation deadlock.
+pub fn run(n: usize, f: &(dyn Fn(usize) + Sync)) {
+    if n == 0 {
+        return;
+    }
+    static ACTIVE: AtomicBool = AtomicBool::new(false);
+    if n == 1 || ACTIVE.swap(true, Ordering::Acquire) {
+        // Pool busy (or trivial job): run inline.
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let pool = pool();
+    // SAFETY(lifetime erasure): `job.f` escapes `f`'s borrow, but every
+    // dereference happens in `Job::work`, and this function does not
+    // return until `remaining == 0`, i.e. until after the final
+    // dereference. Workers that observe the job later only read the
+    // counters (`next >= n` stops them before touching `f`).
+    let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+    let job = Arc::new(Job {
+        f: f_static,
+        n,
+        next: AtomicUsize::new(0),
+        remaining: AtomicUsize::new(n),
+    });
+    {
+        let mut guard = pool.shared.slot.lock().unwrap();
+        guard.0 += 1;
+        guard.1 = Some(job.clone());
+        pool.shared.work_cv.notify_all();
+    }
+    job.work(&pool.shared);
+    let mut guard = pool.shared.done.lock().unwrap();
+    while job.remaining.load(Ordering::Acquire) > 0 {
+        guard = pool.shared.done_cv.wait(guard).unwrap();
+    }
+    drop(guard);
+    // Retire the job so workers parked on the slot drop their `Arc`s the
+    // next time they look, and release the pool for the next fan-out.
+    pool.shared.slot.lock().unwrap().1 = None;
+    ACTIVE.store(false, Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        run(hits.len(), &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn repeated_fanouts_are_stable() {
+        // The training loop shape: many small fan-outs back to back.
+        let slots: Vec<AtomicUsize> = (0..8).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..10_000 {
+            run(slots.len(), &|i| {
+                slots[i].fetch_add(i + 1, Ordering::Relaxed);
+            });
+        }
+        for (i, s) in slots.iter().enumerate() {
+            assert_eq!(s.load(Ordering::Relaxed), 10_000 * (i + 1));
+        }
+    }
+
+    #[test]
+    fn nested_run_degrades_to_inline() {
+        let count = AtomicUsize::new(0);
+        run(4, &|_| {
+            run(3, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 12);
+    }
+
+    #[test]
+    fn concurrency_is_at_least_two() {
+        assert!(max_concurrency() >= 2);
+    }
+}
