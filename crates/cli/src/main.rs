@@ -14,6 +14,7 @@ mod affinity_cmd;
 mod analysis;
 mod common;
 mod fig10;
+mod faults_cmd;
 mod fig22;
 mod fig23;
 mod fig3;
@@ -40,6 +41,7 @@ experiments:
   ablation  design-choice ablations      summary  abstract headline numbers
   analysis  latency anatomy + overlap trace (extension)
   affinity  §7.8 co-location affinity survey + service-group planning
+  faults    QoS violations vs fault intensity + invariant check (extension)
   all       everything above, in order
 
 options:
@@ -80,6 +82,7 @@ fn main() {
         "ablation" => ablation::run(&opts),
         "affinity" => affinity_cmd::run(&opts),
         "analysis" => analysis::run(&opts),
+        "faults" => faults_cmd::run(&opts),
         "summary" => summary::run(&opts),
         "all" => {
             tables::table1(&opts);
@@ -98,6 +101,7 @@ fn main() {
             ablation::run(&opts);
             affinity_cmd::run(&opts);
             analysis::run(&opts);
+            faults_cmd::run(&opts);
             summary::run(&opts);
         }
         other => {

@@ -21,6 +21,7 @@ use abacus_core::{
 };
 use abacus_metrics::{QueryOutcome, QueryRecord};
 use dnn_models::{ModelId, ModelLibrary, QueryInput};
+use faults::NodeDegradation;
 use gpu_sim::{GpuSpec, NoiseModel};
 use predictor::LatencyModel;
 use std::sync::Arc;
@@ -74,6 +75,10 @@ pub struct ClusterConfig {
     /// are concatenated in node order, so the records — and every summary
     /// derived from them — are identical to a serial run.
     pub parallel: bool,
+    /// Fault injection: nodes running at reduced capacity (every GPU on a
+    /// listed node computes and moves data `slowdown`× slower, while QoS
+    /// targets stay calibrated to healthy hardware). Empty = all healthy.
+    pub degraded: Vec<NodeDegradation>,
 }
 
 impl ClusterConfig {
@@ -93,6 +98,7 @@ impl ClusterConfig {
             seed,
             abacus: AbacusConfig::default(),
             parallel: true,
+            degraded: Vec::new(),
         }
     }
 
@@ -100,6 +106,30 @@ impl ClusterConfig {
     pub fn total_gpus(&self) -> usize {
         self.nodes * self.gpus_per_node
     }
+
+    /// Capacity slowdown of `node` (1.0 = healthy).
+    pub fn node_slowdown(&self, node: usize) -> f64 {
+        self.degraded
+            .iter()
+            .find(|d| d.node == node)
+            .map_or(1.0, |d| d.slowdown)
+    }
+}
+
+/// The GPU spec a node's GPUs actually run at: compute and bandwidth both
+/// divided by the node's degradation slowdown.
+fn node_gpu_spec(gpu: &GpuSpec, slowdown: f64) -> GpuSpec {
+    assert!(
+        slowdown.is_finite() && slowdown >= 1.0,
+        "slowdown must be finite and >= 1, got {slowdown}"
+    );
+    if slowdown == 1.0 {
+        return gpu.clone();
+    }
+    let mut g = gpu.clone();
+    g.peak_flops /= slowdown;
+    g.peak_bw /= slowdown;
+    g
 }
 
 /// One query with its routing metadata.
@@ -322,6 +352,7 @@ fn run_abacus_k8s(
         node_arrivals[i % nodes].push((i as u64, a, input));
     }
     let run_node = |node: usize| -> (Vec<QueryRecord>, Vec<GpuUsage>) {
+        let node_gpu = node_gpu_spec(gpu, cfg.node_slowdown(node));
         let mut gpus: Vec<GpuSim> = (0..cfg.gpus_per_node)
             .map(|local| {
                 // Global GPU index: seeds are identical to the pre-sharding
@@ -334,7 +365,7 @@ fn run_abacus_k8s(
                         cfg.abacus.clone(),
                     ))),
                     executor: SegmentalExecutor::new(
-                        gpu.clone(),
+                        node_gpu.clone(),
                         noise.clone(),
                         lib.clone(),
                         fork_seed(cfg.seed, 0xE000 + g as u64),
@@ -391,7 +422,7 @@ fn run_clockwork(
     let mut executors: Vec<SegmentalExecutor> = (0..cfg.total_gpus())
         .map(|g| {
             SegmentalExecutor::new(
-                gpu.clone(),
+                node_gpu_spec(gpu, cfg.node_slowdown(g / cfg.gpus_per_node.max(1))),
                 noise.clone(),
                 lib.clone(),
                 fork_seed(cfg.seed, 0xC000 + g as u64),
@@ -668,6 +699,70 @@ mod tests {
         assert!(!serial.records.is_empty());
         assert_eq!(serial.records, parallel.records);
         assert_eq!(serial.gpu_usage, parallel.gpu_usage);
+    }
+
+    #[test]
+    fn degraded_node_loses_goodput_and_stays_deterministic() {
+        let lib = Arc::new(ModelLibrary::new());
+        let gpu = GpuSpec::v100();
+        let noise = NoiseModel::calibrated();
+        let trace = RateTrace::new(vec![50.0; 2]);
+        let mut cfg = ClusterConfig {
+            nodes: 2,
+            gpus_per_node: 1,
+            ..ClusterConfig::paper(trace, 5)
+        };
+        cfg.abacus.predict_round_ms = Some(0.08);
+        let predictor: Arc<dyn LatencyModel> = Arc::new(SpanModel {
+            lib: lib.clone(),
+            gpu: gpu.clone(),
+        });
+        let healthy = run_cluster(
+            ClusterSystem::AbacusK8s,
+            &cfg,
+            &lib,
+            &gpu,
+            &noise,
+            Some(predictor.clone()),
+        );
+        cfg.degraded = vec![NodeDegradation {
+            node: 1,
+            slowdown: 3.0,
+        }];
+        cfg.parallel = false;
+        let serial = run_cluster(
+            ClusterSystem::AbacusK8s,
+            &cfg,
+            &lib,
+            &gpu,
+            &noise,
+            Some(predictor.clone()),
+        );
+        cfg.parallel = true;
+        let parallel = run_cluster(
+            ClusterSystem::AbacusK8s,
+            &cfg,
+            &lib,
+            &gpu,
+            &noise,
+            Some(predictor),
+        );
+        // Degradation is deterministic and serial ≡ parallel.
+        assert_eq!(serial, parallel);
+        // Same arrivals, worse outcomes: a 3× slower node must not
+        // improve QoS.
+        assert_eq!(healthy.len(), serial.len());
+        let good = |rs: &[QueryRecord]| {
+            rs.iter()
+                .filter(|r| r.outcome == QueryOutcome::Completed && r.met_qos())
+                .count()
+        };
+        assert!(
+            good(&serial) < good(&healthy),
+            "degraded {} vs healthy {}",
+            good(&serial),
+            good(&healthy)
+        );
     }
 
     #[test]

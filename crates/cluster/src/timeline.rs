@@ -92,7 +92,7 @@ pub fn summarize(records: &[QueryRecord], warmup_minutes: usize, minutes: usize)
                 requests += f64::from(r.requests);
                 lats.push(r.latency_ms);
             }
-            QueryOutcome::Dropped => dropped += 1,
+            QueryOutcome::Dropped | QueryOutcome::TimedOut => dropped += 1,
         }
     }
     TimelineSummary {

@@ -48,7 +48,41 @@ pub struct AbacusConfig {
     /// tail (the §5.2 noise is multiplicative, so a fixed margin alone
     /// under-protects long groups).
     pub margin_frac: f64,
+    /// Opt-in (default off) safety-margin autotuner: adds the rolling
+    /// under-prediction bias ([`AbacusScheduler::rolling_error`], floored
+    /// at zero — over-prediction is already conservative) on top of
+    /// `margin_frac`, so a drifting predictor automatically gets a wider
+    /// §6.2 margin instead of certifying groups it can no longer predict.
+    /// Off by default — with it off the controller is bit-identical to the
+    /// pre-fault-layer behaviour.
+    pub adaptive_margin: bool,
+    /// Opt-in graceful degradation: when the rolling under-prediction bias
+    /// exceeds this threshold — or [`FALLBACK_BARREN_ROUNDS`] consecutive
+    /// rounds drop queries without planning anything (total predictor
+    /// failure leaves no completions to measure error on) — the controller
+    /// permanently falls back to FCFS dispatch: one query at a time, no
+    /// predictions trusted, the baseline drop mechanism retained. `None`
+    /// (the default) never degrades.
+    pub fcfs_fallback_error: Option<f64>,
 }
+
+/// Consecutive planless-with-drops rounds before [`AbacusConfig::fcfs_fallback_error`]
+/// trips even without error samples (a frozen-high predictor drops every
+/// query as infeasible, so the error EWMA alone would never observe it).
+pub const FALLBACK_BARREN_ROUNDS: u32 = 8;
+
+/// EWMA smoothing factor of the rolling under-prediction bias.
+const ERR_EWMA_ALPHA: f64 = 0.2;
+
+/// Denominator floor for the relative-error samples, ms. Serving plans
+/// many sub-millisecond remainder groups whose *relative* error is huge
+/// while their absolute error is irrelevant; without the floor those
+/// samples dominate the EWMA and a healthy predictor reads as broken.
+const ERR_MIN_DURATION_MS: f64 = 1.0;
+
+/// Error samples required before [`AbacusConfig::fcfs_fallback_error`] may
+/// trip: one unlucky first group must not latch permanent degradation.
+pub const ERR_WARMUP_SAMPLES: u32 = 5;
 
 impl Default for AbacusConfig {
     fn default() -> Self {
@@ -59,6 +93,8 @@ impl Default for AbacusConfig {
             pipelined: true,
             margin_ms: 0.3,
             margin_frac: 0.05,
+            adaptive_margin: false,
+            fcfs_fallback_error: None,
         }
     }
 }
@@ -112,6 +148,19 @@ pub struct AbacusScheduler {
     total_prediction_rounds: u64,
     /// Cumulative scheduling rounds.
     total_rounds: u64,
+    /// Predicted duration of the in-flight group, paired with the observed
+    /// duration in [`Scheduler::on_group_complete`] to track error.
+    last_predicted_ms: Option<f64>,
+    /// Rolling EWMA of the signed under-prediction bias
+    /// (observed − predicted) / observed; `None` until the first completed
+    /// group.
+    err_ewma: Option<f64>,
+    /// Error samples absorbed by the EWMA (fallback warmup gate).
+    err_samples: u32,
+    /// Consecutive rounds that dropped queries without planning a group.
+    barren_rounds: u32,
+    /// Latched FCFS fallback (see [`AbacusConfig::fcfs_fallback_error`]).
+    degraded: bool,
 }
 
 impl AbacusScheduler {
@@ -130,6 +179,11 @@ impl AbacusScheduler {
             hide_window_ms: 0.0,
             total_prediction_rounds: 0,
             total_rounds: 0,
+            last_predicted_ms: None,
+            err_ewma: None,
+            err_samples: 0,
+            barren_rounds: 0,
+            degraded: false,
         }
     }
 
@@ -151,10 +205,75 @@ impl AbacusScheduler {
     pub fn config(&self) -> &AbacusConfig {
         &self.cfg
     }
+
+    /// Rolling under-prediction bias, EWMA of signed
+    /// (observed − predicted) / observed; 0 until the first group
+    /// completes. Positive means groups run longer than predicted — the
+    /// direction that breaks QoS planning; negative (over-prediction) is
+    /// merely conservative. The healthy predictor's over- and
+    /// under-predictions largely cancel here, so this separates predictor
+    /// faults far better than an absolute-error EWMA.
+    pub fn rolling_error(&self) -> f64 {
+        self.err_ewma.unwrap_or(0.0)
+    }
+
+    /// True once the controller has fallen back to FCFS dispatch.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// The relative margin currently in force: the configured
+    /// `margin_frac`, widened by the rolling under-prediction bias when
+    /// the autotuner is on. The bias is floored at zero (over-prediction
+    /// needs no extra margin) and the sum capped at 1.0 — a 2× safety
+    /// divisor — so a pathological error estimate cannot zero out the
+    /// budget entirely.
+    pub fn effective_margin_frac(&self) -> f64 {
+        if self.cfg.adaptive_margin {
+            (self.cfg.margin_frac + self.rolling_error().max(0.0)).min(1.0)
+        } else {
+            self.cfg.margin_frac
+        }
+    }
+
+    /// FCFS degradation dispatch: earliest arrival runs alone, no
+    /// predictions consulted, the baseline drop mechanism retained.
+    fn decide_degraded(&mut self, now_ms: f64, queue: &[Query]) -> RoundDecision {
+        let mut dropped = Vec::new();
+        let mut head: Option<&Query> = None;
+        for q in queue {
+            if q.headroom_ms(now_ms) < 0.0 {
+                dropped.push(q.id);
+            } else if head.is_none_or(|h| {
+                q.arrival_ms < h.arrival_ms || (q.arrival_ms == h.arrival_ms && q.id < h.id)
+            }) {
+                head = Some(q);
+            }
+        }
+        self.total_rounds += 1;
+        // No prediction backs this dispatch; don't feed it to the error EWMA.
+        self.last_predicted_ms = None;
+        RoundDecision {
+            dropped,
+            group: head.map(|q| crate::group::PlannedGroup {
+                entries: vec![crate::group::PlannedEntry {
+                    query_id: q.id,
+                    op_start: q.next_op,
+                    op_end: q.n_ops,
+                }],
+                predicted_ms: 0.0,
+                prediction_rounds: 0,
+            }),
+            overhead_ms: self.cfg.base_overhead_ms,
+        }
+    }
 }
 
 impl Scheduler for AbacusScheduler {
     fn decide(&mut self, now_ms: f64, queue: &[Query]) -> RoundDecision {
+        if self.degraded {
+            return self.decide_degraded(now_ms, queue);
+        }
         let mut dropped = Vec::new();
         // Sort by headroom ascending (Eq. 2); ties by id for determinism.
         let mut sorted: Vec<&Query> = queue.iter().collect();
@@ -188,9 +307,10 @@ impl Scheduler for AbacusScheduler {
 
         let mut prediction_rounds = 0usize;
         let mut planned = None;
+        let margin_frac = self.effective_margin_frac();
         while !sorted.is_empty() {
-            let budget = (sorted[0].headroom_ms(now_ms) - self.cfg.margin_ms)
-                / (1.0 + self.cfg.margin_frac);
+            let budget =
+                (sorted[0].headroom_ms(now_ms) - self.cfg.margin_ms) / (1.0 + margin_frac);
             match plan_group(&sorted, budget, self.model.as_ref(), &self.lib, self.cfg.ways) {
                 SearchResult::Planned(mut p) => {
                     prediction_rounds += p.prediction_rounds;
@@ -207,6 +327,21 @@ impl Scheduler for AbacusScheduler {
                     dropped.push(sorted[0].id);
                     sorted.remove(0);
                 }
+            }
+        }
+
+        // Track the in-flight prediction for error accounting, and count
+        // barren rounds (drops but no plan) — the fallback trigger a
+        // totally-failed predictor leaves when no group ever completes.
+        self.last_predicted_ms = planned.as_ref().map(|p| p.predicted_ms);
+        if planned.is_some() {
+            self.barren_rounds = 0;
+        } else if !dropped.is_empty() {
+            self.barren_rounds += 1;
+            if self.cfg.fcfs_fallback_error.is_some()
+                && self.barren_rounds >= FALLBACK_BARREN_ROUNDS
+            {
+                self.degraded = true;
             }
         }
 
@@ -234,6 +369,28 @@ impl Scheduler for AbacusScheduler {
 
     fn on_group_complete(&mut self, duration_ms: f64) {
         self.hide_window_ms = duration_ms;
+        if let Some(pred) = self.last_predicted_ms.take() {
+            if pred.is_finite() && duration_ms > 0.0 {
+                // Signed under-prediction bias, not absolute error: the
+                // healthy model's over- and under-predictions largely
+                // cancel, while a failing predictor errs consistently low —
+                // the one direction that breaks QoS planning. Absolute
+                // error cannot separate the two (the healthy serving-time
+                // EWMA already sits near 0.45 on out-of-distribution group
+                // shapes).
+                let err = (duration_ms - pred) / duration_ms.max(ERR_MIN_DURATION_MS);
+                self.err_ewma = Some(match self.err_ewma {
+                    Some(e) => (1.0 - ERR_EWMA_ALPHA) * e + ERR_EWMA_ALPHA * err,
+                    None => err,
+                });
+                self.err_samples += 1;
+            }
+        }
+        if let Some(threshold) = self.cfg.fcfs_fallback_error {
+            if self.err_samples >= ERR_WARMUP_SAMPLES && self.rolling_error() > threshold {
+                self.degraded = true;
+            }
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -375,6 +532,115 @@ mod tests {
             },
         );
         assert_eq!(s.predict_round_ms(), 0.25);
+    }
+
+    /// A predictor frozen at a constant — misprediction injection's worst
+    /// case (total failure).
+    struct FrozenModel(f64);
+    impl LatencyModel for FrozenModel {
+        fn predict_one(&self, _: &[f64]) -> f64 {
+            self.0
+        }
+        fn name(&self) -> &'static str {
+            "frozen"
+        }
+    }
+
+    fn defended(fallback: Option<f64>, adaptive: bool, model: Arc<dyn LatencyModel>) -> AbacusScheduler {
+        AbacusScheduler::new(
+            model,
+            Arc::new(ModelLibrary::new()),
+            AbacusConfig {
+                predict_round_ms: Some(0.08),
+                adaptive_margin: adaptive,
+                fcfs_fallback_error: fallback,
+                ..AbacusConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn rolling_error_tracks_misprediction() {
+        let mut s = defended(None, false, Arc::new(SpanModel));
+        let queue = vec![query(1, ModelId::ResNet50, 0.0, 100.0)];
+        let d = s.decide(0.0, &queue);
+        let predicted = d.group.unwrap().predicted_ms;
+        // Group ran 3x longer than predicted.
+        s.on_group_complete(predicted * 3.0);
+        let err = s.rolling_error();
+        assert!((err - 2.0 / 3.0).abs() < 1e-9, "err {err}");
+    }
+
+    #[test]
+    fn adaptive_margin_widens_with_error() {
+        let mut s = defended(None, true, Arc::new(SpanModel));
+        assert_eq!(s.effective_margin_frac(), s.config().margin_frac);
+        let queue = vec![query(1, ModelId::ResNet50, 0.0, 100.0)];
+        let d = s.decide(0.0, &queue);
+        s.on_group_complete(d.group.unwrap().predicted_ms * 2.0);
+        assert!(s.effective_margin_frac() > s.config().margin_frac);
+        // Off by default: same history, fixed margin.
+        let mut fixed = defended(None, false, Arc::new(SpanModel));
+        let d = fixed.decide(0.0, &queue);
+        fixed.on_group_complete(d.group.unwrap().predicted_ms * 2.0);
+        assert_eq!(fixed.effective_margin_frac(), fixed.config().margin_frac);
+    }
+
+    #[test]
+    fn error_threshold_trips_fcfs_fallback() {
+        let mut s = defended(Some(0.5), false, Arc::new(SpanModel));
+        let queue = vec![
+            query(1, ModelId::ResNet50, 0.0, 100.0),
+            query(2, ModelId::Bert, 5.0, 100.0),
+        ];
+        // Sustained 90% error: the warmup gate holds the trigger for the
+        // first ERR_WARMUP_SAMPLES groups, then the threshold latches.
+        for sample in 0..ERR_WARMUP_SAMPLES {
+            assert!(!s.is_degraded(), "degraded during warmup at sample {sample}");
+            let d = s.decide(0.0, &queue);
+            s.on_group_complete(d.group.unwrap().predicted_ms * 10.0);
+        }
+        assert!(s.is_degraded());
+        // Degraded dispatch is FCFS: earliest arrival, alone, whole query.
+        let d = s.decide(10.0, &queue);
+        let g = d.group.unwrap();
+        assert_eq!(g.entries.len(), 1);
+        assert_eq!(g.entries[0].query_id, 1);
+        assert_eq!(g.entries[0].op_end, queue[0].n_ops);
+        assert_eq!(g.prediction_rounds, 0);
+        // The baseline drop mechanism is retained while degraded.
+        let d = s.decide(500.0, &queue);
+        assert_eq!(d.dropped, vec![1, 2]);
+        assert!(d.group.is_none());
+    }
+
+    #[test]
+    fn barren_rounds_trip_fallback_under_total_predictor_failure() {
+        // A predictor frozen far above every budget drops every query as
+        // infeasible — no group ever completes, so the error EWMA alone
+        // would never trip. The barren-round counter must.
+        let mut s = defended(Some(0.5), false, Arc::new(FrozenModel(1e7)));
+        for round in 0..FALLBACK_BARREN_ROUNDS {
+            assert!(!s.is_degraded(), "degraded too early at round {round}");
+            let queue = vec![query(u64::from(round) + 1, ModelId::ResNet50, 0.0, 100.0)];
+            let d = s.decide(0.0, &queue);
+            assert!(d.group.is_none());
+            assert_eq!(d.dropped.len(), 1);
+        }
+        assert!(s.is_degraded());
+        // Once degraded the frozen predictor is ignored: queries run.
+        let queue = vec![query(99, ModelId::ResNet50, 0.0, 100.0)];
+        assert!(s.decide(0.0, &queue).group.is_some());
+    }
+
+    #[test]
+    fn fallback_disabled_never_degrades() {
+        let mut s = defended(None, false, Arc::new(FrozenModel(1e7)));
+        for round in 0..(FALLBACK_BARREN_ROUNDS * 2) {
+            let queue = vec![query(u64::from(round) + 1, ModelId::ResNet50, 0.0, 100.0)];
+            let _ = s.decide(0.0, &queue);
+        }
+        assert!(!s.is_degraded());
     }
 
     #[test]

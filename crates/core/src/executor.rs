@@ -14,7 +14,7 @@
 //! state).
 
 use dnn_models::ModelLibrary;
-use gpu_sim::{run_group, Engine, GpuSpec, KernelDesc, NoiseModel, StreamCompletion};
+use gpu_sim::{run_group, Engine, GpuSpec, KernelDesc, KernelFaultSpec, NoiseModel, StreamCompletion};
 use predictor::GroupSpec;
 use std::sync::Arc;
 use workload::fork_seed;
@@ -51,6 +51,10 @@ pub struct SegmentalExecutor {
     lib: Arc<ModelLibrary>,
     seed: u64,
     rounds: u64,
+    /// Cumulative GPU busy time across executed groups, ms. Fault-spike
+    /// windows are expressed on this clock (the engine's own clock resets
+    /// to zero every group).
+    busy_ms: f64,
     /// Reused completion buffer for [`Engine::completions_into`].
     completions: Vec<StreamCompletion>,
 }
@@ -63,8 +67,21 @@ impl SegmentalExecutor {
             lib,
             seed,
             rounds: 0,
+            busy_ms: 0.0,
             completions: Vec::new(),
         }
+    }
+
+    /// Install (or clear) a kernel latency-spike fault spec. The spike
+    /// window is interpreted on the executor's cumulative busy-time clock,
+    /// not per-group engine time.
+    pub fn set_kernel_faults(&mut self, spec: Option<KernelFaultSpec>) {
+        self.engine.set_kernel_faults(spec);
+    }
+
+    /// Cumulative GPU busy time across all executed groups, ms.
+    pub fn busy_ms(&self) -> f64 {
+        self.busy_ms
     }
 
     /// The GPU this executor drives.
@@ -87,6 +104,7 @@ impl SegmentalExecutor {
         let run_seed = fork_seed(self.seed, self.rounds);
         self.rounds += 1;
         self.engine.reset(run_seed);
+        self.engine.set_fault_time_base(self.busy_ms);
         for e in &spec.entries {
             self.engine.add_stream_slice(
                 self.lib.kernels_range(e.model, e.input, e.op_start, e.op_end),
@@ -106,6 +124,7 @@ impl SegmentalExecutor {
         } else {
             max_end - min_start
         };
+        self.busy_ms += total_ms;
         // Save/restore bookkeeping for partial queries.
         let mut overhead = GROUP_SYNC_MS;
         let mut saved_bytes = 0.0;
@@ -229,6 +248,57 @@ mod tests {
         let r1 = c.execute(&spec);
         let r2 = c.execute(&spec);
         assert_ne!(r1.duration_ms, r2.duration_ms);
+    }
+
+    #[test]
+    fn fault_window_spans_groups_on_cumulative_clock() {
+        // Two identical groups; the spike window covers only the span of
+        // the *second* group on the cumulative busy-time clock, so the
+        // first group must run clean even though engine time restarts at
+        // zero each round.
+        let lib = Arc::new(ModelLibrary::new());
+        let spec = GroupSpec::new(vec![entry(ModelId::ResNet50, 0, 125)], &lib);
+        let mut clean =
+            SegmentalExecutor::new(GpuSpec::a100(), NoiseModel::disabled(), lib.clone(), 1);
+        let base = clean.execute(&spec);
+        let first_busy = clean.busy_ms();
+
+        let mut faulty =
+            SegmentalExecutor::new(GpuSpec::a100(), NoiseModel::disabled(), lib.clone(), 1);
+        faulty.set_kernel_faults(Some(KernelFaultSpec {
+            seed: 7,
+            window_start_ms: first_busy,
+            window_end_ms: f64::INFINITY,
+            prob: 1.0,
+            factor: 2.0,
+        }));
+        let g1 = faulty.execute(&spec);
+        let g2 = faulty.execute(&spec);
+        assert_eq!(g1, base, "window starts after group 1 — group 1 clean");
+        assert!(
+            (g2.duration_ms - GROUP_SYNC_MS - 2.0 * (base.duration_ms - GROUP_SYNC_MS)).abs()
+                < 1e-9,
+            "group 2 fully inside window scales by the spike factor: {} vs {}",
+            g2.duration_ms,
+            base.duration_ms
+        );
+    }
+
+    #[test]
+    fn silent_fault_spec_is_bit_identical() {
+        let lib = Arc::new(ModelLibrary::new());
+        let spec = GroupSpec::new(
+            vec![entry(ModelId::ResNet50, 0, 125), entry(ModelId::Bert, 0, 173)],
+            &lib,
+        );
+        let mut plain =
+            SegmentalExecutor::new(GpuSpec::a100(), NoiseModel::calibrated(), lib.clone(), 5);
+        let mut silent =
+            SegmentalExecutor::new(GpuSpec::a100(), NoiseModel::calibrated(), lib.clone(), 5);
+        silent.set_kernel_faults(Some(KernelFaultSpec::always(3, 0.0, 10.0)));
+        for _ in 0..3 {
+            assert_eq!(plain.execute(&spec), silent.execute(&spec));
+        }
     }
 
     #[test]

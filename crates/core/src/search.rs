@@ -120,7 +120,10 @@ pub fn plan_group(
             done += rows;
         }
     }
-    if level1[0] > budget_ms {
+    // The explicit NaN arms treat a non-finite prediction (a faulted or
+    // broken model) or a NaN budget as infeasible instead of silently
+    // planning the head with `predicted_ms = NaN` (`NaN > x` is false).
+    if level1[0].is_nan() || budget_ms.is_nan() || level1[0] > budget_ms {
         return SearchResult::Infeasible {
             prediction_rounds: rounds,
         };
@@ -349,6 +352,70 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn nan_prediction_is_infeasible_not_planned() {
+        // Regression: `level1[0] > budget` is false for NaN, which used to
+        // plan the head query with `predicted_ms = NaN`. A NaN-emitting
+        // model must instead report infeasibility (the §6.2 drop path).
+        struct NanModel;
+        impl LatencyModel for NanModel {
+            fn predict_one(&self, _: &[f64]) -> f64 {
+                f64::NAN
+            }
+            fn name(&self) -> &'static str {
+                "nan"
+            }
+        }
+        let lib = lib();
+        let q0 = query(0, ModelId::ResNet50, 0);
+        assert!(matches!(
+            plan_group(&[&q0], 100.0, &NanModel, &lib, 4),
+            SearchResult::Infeasible { .. }
+        ));
+        // Mixed case: NaN only past the head keeps the head-only plan and
+        // a finite prediction.
+        struct NanBeyondHead;
+        impl LatencyModel for NanBeyondHead {
+            fn predict_one(&self, x: &[f64]) -> f64 {
+                let mut slots = 0;
+                for slot in 0..MAX_COLOCATED {
+                    let base = predictor::MODEL_SLOT_BASE + slot * SLOT_WIDTH;
+                    if x[base + 1] - x[base] > 0.0 {
+                        slots += 1;
+                    }
+                }
+                if slots > 1 {
+                    f64::NAN
+                } else {
+                    5.0
+                }
+            }
+            fn name(&self) -> &'static str {
+                "nan-beyond-head"
+            }
+        }
+        let q1 = query(1, ModelId::Bert, 0);
+        match plan_group(&[&q0, &q1], 100.0, &NanBeyondHead, &lib, 4) {
+            SearchResult::Planned(p) => {
+                assert_eq!(p.entries.len(), 1);
+                assert!(p.predicted_ms.is_finite());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_budget_is_infeasible() {
+        // A NaN budget (poisoned headroom) must drop, not plan.
+        let lib = lib();
+        let q0 = query(0, ModelId::ResNet50, 0);
+        let model = SpanModel { ms_per_unit_span: 10.0 };
+        assert!(matches!(
+            plan_group(&[&q0], f64::NAN, &model, &lib, 4),
+            SearchResult::Infeasible { .. }
+        ));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //!   chain queries dynamically — how the Fig. 3 motivation experiment runs.
 
 use crate::contention::{co_run_slowdowns_summed, RunningKernel};
+use crate::faults::{KernelFaultSpec, KernelFaultState};
 use crate::gpu::GpuSpec;
 use crate::kernel::KernelDesc;
 use crate::noise::NoiseModel;
@@ -121,6 +122,12 @@ pub struct Engine {
     events: u64,
     /// Per-kernel execution spans; populated only when tracing is on.
     trace: Option<Vec<KernelSpan>>,
+    /// Seed of the current run (recorded so a fault spec installed
+    /// mid-lifetime can fork its draw stream consistently).
+    run_seed: u64,
+    /// Deterministic kernel latency-spike injection; `None` (the default)
+    /// leaves the hot path untouched.
+    faults: Option<KernelFaultState>,
 }
 
 impl Engine {
@@ -147,6 +154,8 @@ impl Engine {
             recycle: false,
             events: 0,
             trace: None,
+            run_seed: seed,
+            faults: None,
         }
     }
 
@@ -159,6 +168,10 @@ impl Engine {
     pub fn reset(&mut self, seed: u64) {
         self.rng = SeededRng::new(seed);
         self.session_factor = self.noise.session_factor(&mut self.rng);
+        self.run_seed = seed;
+        if let Some(f) = &mut self.faults {
+            f.reseed(seed);
+        }
         self.time_ms = 0.0;
         self.events = 0;
         for s in &mut self.streams {
@@ -213,6 +226,30 @@ impl Engine {
     /// The recorded kernel spans (empty when tracing was never enabled).
     pub fn trace(&self) -> &[KernelSpan] {
         self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Install (or clear) a deterministic kernel latency-spike regime
+    /// ([`crate::faults`]). The spike draw stream is forked from
+    /// `(spec.seed, run seed)` and re-forked on every [`Engine::reset`], so
+    /// injection composes with engine reuse and stays bit-reproducible.
+    /// With `None` (the default) the kernel-start hot path never touches
+    /// the fault machinery.
+    pub fn set_kernel_faults(&mut self, spec: Option<KernelFaultSpec>) {
+        self.faults = spec.map(|s| KernelFaultState::new(s, self.run_seed));
+    }
+
+    /// The installed spike spec, if any.
+    pub fn kernel_faults(&self) -> Option<&KernelFaultSpec> {
+        self.faults.as_ref().map(|f| &f.spec)
+    }
+
+    /// Re-base the fault window clock: cumulative busy time at this run's
+    /// `t = 0`. The segmental executor calls this per group so the spec's
+    /// window refers to serving-wide execution time, not group-local time.
+    pub fn set_fault_time_base(&mut self, base_ms: f64) {
+        if let Some(f) = &mut self.faults {
+            f.set_base_ms(base_ms);
+        }
     }
 
     /// Current simulated time, ms.
@@ -318,7 +355,12 @@ impl Engine {
             // stream is independent of degenerate zero-cost kernels.
             let profile = RunningKernel::profile(&kernel, &self.gpu);
             let kf = self.noise.kernel_factor(&mut self.rng);
-            let dur = (kernel.launch_ms + profile.exec_ms) * self.session_factor * kf;
+            let mut dur = (kernel.launch_ms + profile.exec_ms) * self.session_factor * kf;
+            if let Some(f) = &mut self.faults {
+                // Separate draw stream: installed-but-never-spiking specs
+                // leave `dur` — and the whole run — bit-identical.
+                dur *= f.spike_factor(self.time_ms);
+            }
             if dur <= 0.0 {
                 // Degenerate zero-cost kernel: complete instantly.
                 continue;
@@ -769,6 +811,87 @@ mod tests {
         }];
         e.completions_into(&mut buf);
         assert_eq!(buf, e.completions());
+    }
+
+    #[test]
+    fn zero_prob_fault_spec_is_bit_identical_to_none() {
+        // An installed spec that never fires must not perturb anything:
+        // the spike stream is separate from the noise stream.
+        let streams = vec![vec![small_kernel(); 8], vec![big_kernel(); 3]];
+        let run = |spec: Option<KernelFaultSpec>| {
+            let mut e = Engine::new(gpu(), NoiseModel::calibrated(), 17);
+            e.set_kernel_faults(spec);
+            for s in &streams {
+                e.add_stream(s.clone(), 0.0);
+            }
+            e.run_until_idle();
+            e.group_result()
+        };
+        let clean = run(None);
+        let armed_but_silent = run(Some(KernelFaultSpec::always(99, 0.0, 5.0)));
+        assert_eq!(clean, armed_but_silent);
+    }
+
+    #[test]
+    fn certain_spike_scales_solo_stream() {
+        // prob = 1 with noise disabled: every kernel is exactly `factor`
+        // slower, so a solo stream's duration scales exactly.
+        let ks = vec![small_kernel(); 6];
+        let base = crate::run_group(&gpu(), &NoiseModel::disabled(), 0, &[ks.clone()]).total_ms;
+        let mut e = Engine::new(gpu(), NoiseModel::disabled(), 0);
+        e.set_kernel_faults(Some(KernelFaultSpec::always(3, 1.0, 2.5)));
+        e.add_stream(ks, 0.0);
+        e.run_until_idle();
+        let spiked = e.group_result().total_ms;
+        assert!((spiked - base * 2.5).abs() < 1e-9, "{spiked} vs {}", base * 2.5);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_across_reset() {
+        let streams = vec![vec![small_kernel(); 10], vec![big_kernel(); 4]];
+        let spec = KernelFaultSpec::always(7, 0.3, 3.0);
+        let mut e = Engine::new(gpu(), NoiseModel::calibrated(), 5);
+        e.set_kernel_faults(Some(spec));
+        let run = |e: &mut Engine| {
+            for s in &streams {
+                e.add_stream(s.clone(), 0.0);
+            }
+            e.run_until_idle();
+            e.group_result()
+        };
+        let first = run(&mut e);
+        e.reset(5);
+        assert_eq!(run(&mut e), first);
+        // A fresh engine with the spec installed before running matches too.
+        let mut fresh = Engine::new(gpu(), NoiseModel::calibrated(), 5);
+        fresh.set_kernel_faults(Some(spec));
+        assert_eq!(run(&mut fresh), first);
+        // And the spikes actually bite.
+        let mut clean = Engine::new(gpu(), NoiseModel::calibrated(), 5);
+        let base = run(&mut clean);
+        assert!(first.total_ms > base.total_ms);
+    }
+
+    #[test]
+    fn fault_window_outside_run_changes_nothing() {
+        let streams = vec![vec![small_kernel(); 8]];
+        let spec = KernelFaultSpec {
+            seed: 1,
+            window_start_ms: 1e9,
+            window_end_ms: f64::INFINITY,
+            prob: 1.0,
+            factor: 10.0,
+        };
+        let run = |spec: Option<KernelFaultSpec>| {
+            let mut e = Engine::new(gpu(), NoiseModel::calibrated(), 2);
+            e.set_kernel_faults(spec);
+            for s in &streams {
+                e.add_stream(s.clone(), 0.0);
+            }
+            e.run_until_idle();
+            e.group_result()
+        };
+        assert_eq!(run(Some(spec)), run(None));
     }
 
     #[test]

@@ -26,12 +26,14 @@
 
 pub mod contention;
 pub mod engine;
+pub mod faults;
 pub mod gpu;
 pub mod kernel;
 pub mod noise;
 
 pub use contention::{co_run_slowdowns, RunningKernel};
 pub use engine::{Engine, GroupResult, KernelSpan, StreamCompletion, StreamId};
+pub use faults::KernelFaultSpec;
 pub use gpu::{GpuSpec, MigProfile};
 pub use kernel::KernelDesc;
 pub use noise::NoiseModel;

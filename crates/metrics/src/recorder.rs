@@ -20,6 +20,10 @@ pub enum QueryOutcome {
     Completed,
     /// Dropped by the scheduler's drop mechanism before completing.
     Dropped,
+    /// Evicted by the node's defensive per-query timeout (fault-tolerance
+    /// backstop): the query out-waited its wall-clock cap without the
+    /// scheduler retiring it. Counts as a violation, like a drop.
+    TimedOut,
 }
 
 /// The outcome of one query.
@@ -59,6 +63,7 @@ pub struct ServiceStats {
     completed_within_qos: usize,
     requests_within_qos: u64,
     dropped: usize,
+    timed_out: usize,
     violated: usize,
     total: usize,
 }
@@ -86,6 +91,9 @@ impl ServiceStats {
             QueryOutcome::Dropped => {
                 self.dropped += 1;
             }
+            QueryOutcome::TimedOut => {
+                self.timed_out += 1;
+            }
         }
     }
 
@@ -105,11 +113,12 @@ impl ServiceStats {
         self.completed_within_qos += other.completed_within_qos;
         self.requests_within_qos += other.requests_within_qos;
         self.dropped += other.dropped;
+        self.timed_out += other.timed_out;
         self.violated += other.violated;
         self.total += other.total;
     }
 
-    /// Total queries observed (completed + dropped).
+    /// Total queries observed (completed + dropped + timed out).
     pub fn total(&self) -> usize {
         self.total
     }
@@ -117,6 +126,11 @@ impl ServiceStats {
     /// Queries dropped by the scheduler.
     pub fn dropped(&self) -> usize {
         self.dropped
+    }
+
+    /// Queries evicted by the node's defensive per-query timeout.
+    pub fn timed_out(&self) -> usize {
+        self.timed_out
     }
 
     /// 99%-ile latency over completed queries (Fig. 14 convention).
@@ -142,13 +156,14 @@ impl ServiceStats {
         self.queue_sum_ms / self.completed_latencies.len() as f64
     }
 
-    /// QoS violation ratio in `[0, 1]`: (late completions + drops) / total
-    /// (Fig. 15 convention — drops count as violations).
+    /// QoS violation ratio in `[0, 1]`: (late completions + drops +
+    /// timeouts) / total (Fig. 15 convention — drops count as violations,
+    /// and a timed-out query is an involuntary drop).
     pub fn violation_ratio(&self) -> f64 {
         if self.total == 0 {
             return 0.0;
         }
-        (self.violated + self.dropped) as f64 / self.total as f64
+        (self.violated + self.dropped + self.timed_out) as f64 / self.total as f64
     }
 
     /// Queries completed within QoS.
@@ -213,6 +228,25 @@ mod tests {
         assert_eq!(s.total(), 3);
         assert!((s.violation_ratio() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(s.goodput_queries(), 1);
+    }
+
+    #[test]
+    fn timeout_counts_as_violation_but_not_drop() {
+        let mut s = ServiceStats::new();
+        s.record(&rec(10.0, 50.0, QueryOutcome::Completed));
+        s.record(&rec(70.0, 50.0, QueryOutcome::TimedOut));
+        assert_eq!(s.total(), 2);
+        assert_eq!(s.timed_out(), 1);
+        assert_eq!(s.dropped(), 0);
+        assert!((s.violation_ratio() - 0.5).abs() < 1e-12);
+        // Timeouts do not pollute the completed-latency percentile pool.
+        assert!(s.p99_latency() < 50.0);
+        // And merge correctly.
+        let mut pooled = ServiceStats::new();
+        pooled.extend_from(&s);
+        pooled.extend_from(&s);
+        assert_eq!(pooled.timed_out(), 2);
+        assert!(!rec(1.0, 50.0, QueryOutcome::TimedOut).met_qos());
     }
 
     #[test]

@@ -6,13 +6,15 @@
 //! query inputs) is derived solely from the experiment seed, so the four
 //! policies of a figure row are compared on *identical* query streams.
 
-use crate::node::{simulate_node, NodeWorkload, ServiceSpec};
+use crate::invariants::InvariantChecker;
+use crate::node::{simulate_node_checked, NodeOptions, NodeWorkload, ServiceSpec};
 use abacus_core::{
     AbacusConfig, AbacusScheduler, BaselinePolicy, BaselineScheduler, Scheduler,
     SegmentalExecutor,
 };
-use abacus_metrics::ServiceStats;
+use abacus_metrics::{QueryRecord, ServiceStats};
 use dnn_models::{ModelId, ModelLibrary};
+use faults::{burst_arrivals, burst_input_rng, FaultPlan};
 use gpu_sim::{GpuSpec, NoiseModel};
 use predictor::LatencyModel;
 use std::sync::Arc;
@@ -222,11 +224,26 @@ pub fn run_with_services(
         lib.clone(),
         fork_seed(cfg.seed, 0xE0),
     );
-    let records = simulate_node(scheduler.as_mut(), &mut executor, lib, services, &workload);
+    let records = simulate_node_checked(
+        scheduler.as_mut(),
+        &mut executor,
+        lib,
+        services,
+        &workload,
+        NodeOptions::default(),
+        None,
+    );
+    aggregate(&records, services, cfg)
+}
 
+fn aggregate(
+    records: &[QueryRecord],
+    services: &[ServiceSpec],
+    cfg: &ColocationConfig,
+) -> ColocationResult {
     let mut per_service: Vec<ServiceStats> = services.iter().map(|_| ServiceStats::new()).collect();
     let mut all = ServiceStats::new();
-    for r in &records {
+    for r in records {
         per_service[r.service].record(r);
         all.record(r);
     }
@@ -235,6 +252,139 @@ pub fn run_with_services(
         all,
         horizon_ms: cfg.horizon_ms,
         qos_ms: services.iter().map(|s| s.qos_ms).collect(),
+    }
+}
+
+/// The deterministic workload for a deployment with a [`FaultPlan`]'s
+/// arrival burst merged in.
+///
+/// The base workload's RNG draws are untouched — the burst arrivals and
+/// their inputs come from streams forked off the *plan* seed, then the two
+/// time-sorted streams are merged stably by `(at_ms, service)` with the
+/// base stream winning ties. A plan without a burst returns exactly
+/// [`build_workload`]'s output.
+pub fn build_faulty_workload(
+    services: &[ServiceSpec],
+    lib: &ModelLibrary,
+    cfg: &ColocationConfig,
+    plan: &FaultPlan,
+) -> NodeWorkload {
+    let base = build_workload(services, lib, cfg);
+    let Some(burst) = plan.burst else {
+        return base;
+    };
+    let extra = burst_arrivals(&burst, services.len(), plan.seed);
+    if extra.is_empty() {
+        return base;
+    }
+    let mut rng = burst_input_rng(plan.seed);
+    let extra_inputs: Vec<_> = extra
+        .iter()
+        .map(|a| {
+            let model = services[a.service].model;
+            if cfg.small_inputs {
+                model.min_input()
+            } else {
+                lib.random_input(model, &mut rng)
+            }
+        })
+        .collect();
+    let mut pairs: Vec<_> = base
+        .arrivals
+        .into_iter()
+        .zip(base.inputs)
+        .chain(extra.into_iter().zip(extra_inputs))
+        .collect();
+    pairs.sort_by(|a, b| a.0.at_ms.total_cmp(&b.0.at_ms).then(a.0.service.cmp(&b.0.service)));
+    let (arrivals, inputs) = pairs.into_iter().unzip();
+    NodeWorkload::new(arrivals, inputs)
+}
+
+/// Outcome of one fault-injected co-location run.
+#[derive(Debug, Clone)]
+pub struct FaultRunOutcome {
+    /// Aggregated statistics (same shape as the no-fault driver's).
+    pub result: ColocationResult,
+    /// Raw per-query records, for golden-trace comparisons.
+    pub records: Vec<QueryRecord>,
+    /// Serving-loop invariant violations detected during the run
+    /// (empty = every invariant held).
+    pub invariant_violations: Vec<String>,
+    /// Whether the Abacus controller degraded to FCFS dispatch
+    /// (always `false` for baseline policies).
+    pub degraded: bool,
+}
+
+/// [`run_colocation`] under a [`FaultPlan`], with the serving-loop
+/// invariant checker wired in and optional defensive [`NodeOptions`].
+///
+/// With `FaultPlan::none()` and default options this is bit-identical to
+/// [`run_colocation`] (pinned by the golden no-fault test).
+#[allow(clippy::too_many_arguments)]
+pub fn run_colocation_faulty(
+    models: &[ModelId],
+    policy: PolicyKind,
+    predictor: Option<Arc<dyn LatencyModel>>,
+    lib: &Arc<ModelLibrary>,
+    gpu: &GpuSpec,
+    noise: &NoiseModel,
+    cfg: &ColocationConfig,
+    plan: &FaultPlan,
+    opts: NodeOptions,
+) -> FaultRunOutcome {
+    let services = services_for(models, lib, gpu, cfg.small_inputs);
+    let workload = build_faulty_workload(&services, lib, cfg, plan);
+    let mut executor = SegmentalExecutor::new(
+        gpu.clone(),
+        noise.clone(),
+        lib.clone(),
+        fork_seed(cfg.seed, 0xE0),
+    );
+    executor.set_kernel_faults(plan.kernel_fault_spec());
+    let mut checker = InvariantChecker::new();
+
+    let (records, degraded) = match policy {
+        PolicyKind::Abacus => {
+            let model =
+                plan.wrap_predictor(predictor.expect("Abacus needs a latency predictor"));
+            let mut sched = AbacusScheduler::new(model, lib.clone(), cfg.abacus.clone());
+            let records = simulate_node_checked(
+                &mut sched,
+                &mut executor,
+                lib,
+                &services,
+                &workload,
+                opts,
+                Some(&mut checker),
+            );
+            (records, sched.is_degraded())
+        }
+        baseline => {
+            let kind = match baseline {
+                PolicyKind::Fcfs => BaselinePolicy::Fcfs,
+                PolicyKind::Sjf => BaselinePolicy::Sjf,
+                PolicyKind::Edf => BaselinePolicy::Edf,
+                PolicyKind::Abacus => unreachable!("handled above"),
+            };
+            let mut sched = BaselineScheduler::new(kind, lib.clone(), gpu.clone());
+            let records = simulate_node_checked(
+                &mut sched,
+                &mut executor,
+                lib,
+                &services,
+                &workload,
+                opts,
+                Some(&mut checker),
+            );
+            (records, false)
+        }
+    };
+    let result = aggregate(&records, &services, cfg);
+    FaultRunOutcome {
+        result,
+        records,
+        invariant_violations: checker.violations().to_vec(),
+        degraded,
     }
 }
 
@@ -319,6 +469,70 @@ mod tests {
         let normal = services_for(&[ModelId::ResNet101], &lib, &gpu, false);
         let small = services_for(&[ModelId::ResNet101], &lib, &gpu, true);
         assert!(small[0].qos_ms < normal[0].qos_ms);
+    }
+
+    #[test]
+    fn faulty_runner_with_none_plan_matches_plain_runner() {
+        let (lib, gpu, noise) = setup();
+        let models = [ModelId::ResNet50, ModelId::Bert];
+        let cfg = small_cfg();
+        let plain = run_colocation(&models, PolicyKind::Edf, None, &lib, &gpu, &noise, &cfg);
+        let faulty = run_colocation_faulty(
+            &models,
+            PolicyKind::Edf,
+            None,
+            &lib,
+            &gpu,
+            &noise,
+            &cfg,
+            &faults::FaultPlan::none(),
+            crate::node::NodeOptions::default(),
+        );
+        assert!(faulty.invariant_violations.is_empty());
+        assert!(!faulty.degraded);
+        assert_eq!(faulty.result.all.total(), plain.all.total());
+        assert_eq!(faulty.result.all.p99_latency(), plain.all.p99_latency());
+        assert_eq!(faulty.result.violation_ratio(), plain.violation_ratio());
+    }
+
+    #[test]
+    fn faulty_run_holds_invariants_and_grows_workload() {
+        let (lib, gpu, noise) = setup();
+        let models = [ModelId::ResNet50, ModelId::ResNet101];
+        let cfg = small_cfg();
+        let plan = faults::FaultPlan::at_intensity(11, 0.6);
+        let services = services_for(&models, &lib, &gpu, cfg.small_inputs);
+        let base = build_workload(&services, &lib, &cfg);
+        let bursty = build_faulty_workload(&services, &lib, &cfg, &plan);
+        assert!(bursty.len() > base.len(), "burst must add arrivals");
+        // Base draws are a subsequence: injection never reshuffles them.
+        let mut base_iter = base.arrivals.iter().zip(&base.inputs).peekable();
+        for pair in bursty.arrivals.iter().zip(&bursty.inputs) {
+            if base_iter.peek() == Some(&pair) {
+                base_iter.next();
+            }
+        }
+        assert!(base_iter.peek().is_none(), "base workload perturbed");
+
+        let out = run_colocation_faulty(
+            &models,
+            PolicyKind::Fcfs,
+            None,
+            &lib,
+            &gpu,
+            &noise,
+            &cfg,
+            &plan,
+            crate::node::NodeOptions {
+                timeout_factor: Some(4.0),
+            },
+        );
+        assert_eq!(
+            out.invariant_violations,
+            Vec::<String>::new(),
+            "faults must not break serving invariants"
+        );
+        assert_eq!(out.result.all.total(), bursty.len());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! Output is one [`QueryRecord`] per query, from which every §7.2–7.5
 //! figure is computed.
 
+use crate::invariants::InvariantChecker;
 use abacus_core::{Query, Scheduler, SegmentalExecutor};
 use abacus_metrics::{QueryOutcome, QueryRecord};
 use dnn_models::{ModelId, ModelLibrary, QueryInput};
@@ -53,6 +54,17 @@ impl NodeWorkload {
     }
 }
 
+/// Defensive-runtime knobs for the serving loop (all off by default —
+/// [`simulate_node`] with defaults is byte-identical to the undefended
+/// loop).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeOptions {
+    /// Evict queries whose sojourn exceeds `factor × qos_ms` as
+    /// [`QueryOutcome::TimedOut`]. A stuck query (e.g. starved by a fault
+    /// storm) is then bounded instead of occupying the queue forever.
+    pub timeout_factor: Option<f64>,
+}
+
 /// Run one node to completion: all arrivals admitted, the queue drained.
 ///
 /// Returns one record per query, in completion/drop order.
@@ -62,6 +74,34 @@ pub fn simulate_node(
     lib: &ModelLibrary,
     services: &[ServiceSpec],
     workload: &NodeWorkload,
+) -> Vec<QueryRecord> {
+    simulate_node_checked(
+        scheduler,
+        executor,
+        lib,
+        services,
+        workload,
+        NodeOptions::default(),
+        None,
+    )
+}
+
+/// [`simulate_node`] with defensive options and optional invariant
+/// checking.
+///
+/// Differences from the plain loop (beyond `opts`): a scheduler that drops
+/// an unknown query id is recorded as an invariant violation instead of a
+/// panic, and a scheduler that makes no progress on a non-empty queue (no
+/// drop, no group, no pending arrival to advance to) trips a livelock
+/// guard that force-evicts the oldest query rather than spinning forever.
+pub fn simulate_node_checked(
+    scheduler: &mut dyn Scheduler,
+    executor: &mut SegmentalExecutor,
+    lib: &ModelLibrary,
+    services: &[ServiceSpec],
+    workload: &NodeWorkload,
+    opts: NodeOptions,
+    mut checker: Option<&mut InvariantChecker>,
 ) -> Vec<QueryRecord> {
     let mut records = Vec::with_capacity(workload.len());
     let mut queue: Vec<Query> = Vec::new();
@@ -86,8 +126,65 @@ pub fn simulate_node(
         }
     };
 
+    // Retire `queue[pos]` with `outcome` at `now`.
+    fn retire(
+        queue: &mut Vec<Query>,
+        pos: usize,
+        outcome: QueryOutcome,
+        now: f64,
+        services: &[ServiceSpec],
+        records: &mut Vec<QueryRecord>,
+        checker: &mut Option<&mut InvariantChecker>,
+    ) {
+        let q = queue.swap_remove(pos);
+        if let Some(c) = checker.as_deref_mut() {
+            c.on_terminal(q.id, outcome, now);
+        }
+        records.push(QueryRecord {
+            service: service_index(services, q.model),
+            arrival_ms: q.arrival_ms,
+            latency_ms: now - q.arrival_ms,
+            qos_ms: q.qos_ms,
+            outcome,
+            requests: q.input.batch,
+            queue_ms: q.queue_ms().unwrap_or(if outcome == QueryOutcome::Completed {
+                0.0
+            } else {
+                now - q.arrival_ms
+            }),
+        });
+    }
+
     loop {
+        let first_new = next_arrival;
         admit(&mut queue, &mut next_arrival, now);
+        if let Some(c) = checker.as_deref_mut() {
+            for i in first_new..next_arrival {
+                c.on_issue(i as u64, workload.arrivals[i].at_ms);
+            }
+        }
+        // Defensive per-query timeout: bound the sojourn of queries the
+        // scheduler can neither serve nor bring itself to drop.
+        if let Some(factor) = opts.timeout_factor {
+            loop {
+                let expired = queue
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, q)| now - q.arrival_ms > factor * q.qos_ms)
+                    .min_by_key(|(_, q)| q.id)
+                    .map(|(pos, _)| pos);
+                let Some(pos) = expired else { break };
+                retire(
+                    &mut queue,
+                    pos,
+                    QueryOutcome::TimedOut,
+                    now,
+                    services,
+                    &mut records,
+                    &mut checker,
+                );
+            }
+        }
         if queue.is_empty() {
             match workload.arrivals.get(next_arrival) {
                 Some(a) => {
@@ -99,24 +196,64 @@ pub fn simulate_node(
         }
 
         let decision = scheduler.decide(now, &queue);
+        let retired_any = !decision.dropped.is_empty();
         for id in &decision.dropped {
-            let pos = queue
-                .iter()
-                .position(|q| q.id == *id)
-                .expect("scheduler dropped an unknown query");
-            let q = queue.swap_remove(pos);
-            records.push(QueryRecord {
-                service: service_index(services, q.model),
-                arrival_ms: q.arrival_ms,
-                latency_ms: now - q.arrival_ms,
-                qos_ms: q.qos_ms,
-                outcome: QueryOutcome::Dropped,
-                requests: q.input.batch,
-                queue_ms: q.queue_ms().unwrap_or(now - q.arrival_ms),
-            });
+            match queue.iter().position(|q| q.id == *id) {
+                Some(pos) => retire(
+                    &mut queue,
+                    pos,
+                    QueryOutcome::Dropped,
+                    now,
+                    services,
+                    &mut records,
+                    &mut checker,
+                ),
+                None => {
+                    debug_assert!(false, "scheduler dropped unknown query {id}");
+                    if let Some(c) = checker.as_deref_mut() {
+                        c.on_unknown_drop(*id, now);
+                    }
+                }
+            }
         }
         let Some(group) = decision.group else {
-            // Everything present was dropped; take the next arrival.
+            if retired_any || queue.is_empty() {
+                // Progress was made (or everything present was retired);
+                // take the next arrival.
+                continue;
+            }
+            if let Some(a) = workload.arrivals.get(next_arrival) {
+                if a.at_ms > now {
+                    // Idle until new work arrives.
+                    now = a.at_ms;
+                    continue;
+                }
+            }
+            // Livelock: non-empty queue, nothing scheduled, nothing
+            // dropped, no future arrival to advance to. Force-evict the
+            // oldest query so the loop terminates, and flag it.
+            if let Some(c) = checker.as_deref_mut() {
+                c.on_stall(now, queue.len());
+            }
+            let pos = queue
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.arrival_ms
+                        .total_cmp(&b.arrival_ms)
+                        .then(a.id.cmp(&b.id))
+                })
+                .map(|(pos, _)| pos)
+                .expect("queue checked non-empty");
+            retire(
+                &mut queue,
+                pos,
+                QueryOutcome::TimedOut,
+                now,
+                services,
+                &mut records,
+                &mut checker,
+            );
             continue;
         };
         now += decision.overhead_ms;
@@ -133,25 +270,31 @@ pub fn simulate_node(
             },
             lib,
         );
+        let exec_start = now;
         let out = executor.execute(&spec);
         now += out.duration_ms;
+        if let Some(c) = checker.as_deref_mut() {
+            c.on_group(exec_start, out.duration_ms, &out.stream_ms);
+        }
         scheduler.on_group_complete(out.duration_ms);
         for e in &group.entries {
             let pos = queue.iter().position(|q| q.id == e.query_id).unwrap();
             queue[pos].advance_to(e.op_end);
             if queue[pos].is_complete() {
-                let q = queue.swap_remove(pos);
-                records.push(QueryRecord {
-                    service: service_index(services, q.model),
-                    arrival_ms: q.arrival_ms,
-                    latency_ms: now - q.arrival_ms,
-                    qos_ms: q.qos_ms,
-                    outcome: QueryOutcome::Completed,
-                    requests: q.input.batch,
-                    queue_ms: q.queue_ms().unwrap_or(0.0),
-                });
+                retire(
+                    &mut queue,
+                    pos,
+                    QueryOutcome::Completed,
+                    now,
+                    services,
+                    &mut records,
+                    &mut checker,
+                );
             }
         }
+    }
+    if let Some(c) = checker {
+        c.finish();
     }
     records
 }
@@ -300,6 +443,88 @@ mod tests {
             .filter(|r| r.outcome == QueryOutcome::Dropped)
             .count();
         assert!(dropped > 0);
+    }
+
+    #[test]
+    fn timeout_bounds_sojourn_and_counts_as_timed_out() {
+        use crate::invariants::InvariantChecker;
+        let lib = lib();
+        let gpu = GpuSpec::a100();
+        let svcs = services(&[ModelId::Vgg16, ModelId::Vgg19], &lib, &gpu);
+        let wl = mk_workload(&svcs, 120.0, 2_000.0, &lib, 6);
+        let mut sched = BaselineScheduler::new(BaselinePolicy::Fcfs, lib.clone(), gpu.clone());
+        let mut exec = SegmentalExecutor::new(gpu, NoiseModel::disabled(), lib.clone(), 7);
+        let mut checker = InvariantChecker::new();
+        let records = simulate_node_checked(
+            &mut sched,
+            &mut exec,
+            &lib,
+            &svcs,
+            &wl,
+            NodeOptions {
+                timeout_factor: Some(1.0),
+            },
+            Some(&mut checker),
+        );
+        assert_eq!(records.len(), wl.len());
+        assert_eq!(checker.report(), Ok(()));
+        let timed_out = records
+            .iter()
+            .filter(|r| r.outcome == QueryOutcome::TimedOut)
+            .count();
+        assert!(timed_out > 0, "overload with timeout must evict");
+        // Every timed-out query's sojourn indeed exceeded its budget.
+        assert!(records
+            .iter()
+            .filter(|r| r.outcome == QueryOutcome::TimedOut)
+            .all(|r| r.latency_ms > r.qos_ms));
+    }
+
+    /// A scheduler that never drops and never plans: the old loop would
+    /// spin on it forever; the livelock guard must terminate and flag it.
+    struct StallScheduler;
+    impl abacus_core::Scheduler for StallScheduler {
+        fn decide(&mut self, _now_ms: f64, _queue: &[Query]) -> abacus_core::RoundDecision {
+            abacus_core::RoundDecision {
+                dropped: vec![],
+                group: None,
+                overhead_ms: 0.0,
+            }
+        }
+        fn on_group_complete(&mut self, _duration_ms: f64) {}
+        fn name(&self) -> &'static str {
+            "stall"
+        }
+    }
+
+    #[test]
+    fn livelock_guard_terminates_and_flags_stalled_scheduler() {
+        use crate::invariants::InvariantChecker;
+        let lib = lib();
+        let gpu = GpuSpec::a100();
+        let svcs = services(&[ModelId::ResNet50], &lib, &gpu);
+        let wl = mk_workload(&svcs, 10.0, 500.0, &lib, 9);
+        assert!(!wl.is_empty());
+        let mut sched = StallScheduler;
+        let mut exec = SegmentalExecutor::new(gpu, NoiseModel::disabled(), lib.clone(), 1);
+        let mut checker = InvariantChecker::new();
+        let records = simulate_node_checked(
+            &mut sched,
+            &mut exec,
+            &lib,
+            &svcs,
+            &wl,
+            NodeOptions::default(),
+            Some(&mut checker),
+        );
+        // Terminates (would previously livelock) with every query
+        // force-evicted and the stall recorded as a violation.
+        assert_eq!(records.len(), wl.len());
+        assert!(records.iter().all(|r| r.outcome == QueryOutcome::TimedOut));
+        assert!(checker
+            .violations()
+            .iter()
+            .any(|v| v.contains("livelock guard")));
     }
 
     #[test]

@@ -31,4 +31,19 @@ done
 cargo run --release -q -p bench --bin search_bench -- --quick --check "$SEARCH_BASELINE"
 cargo run --release -q -p bench --bin serving_bench -- --quick --check "$SERVING_BASELINE"
 cargo run --release -q -p bench --bin train_bench -- --quick --check "$TRAIN_BASELINE"
+
+# Fault-sweep determinism gate: the `faults` subcommand must emit
+# byte-identical CSVs whether its cells run serially or on the rayon pool
+# (the repo-wide reproducibility contract, under fault injection).
+echo "== fault sweep serial/parallel byte gate =="
+FAULTS_SERIAL=$(mktemp -d)
+FAULTS_PARALLEL=$(mktemp -d)
+trap 'rm -rf "$FAULTS_SERIAL" "$FAULTS_PARALLEL"' EXIT
+cargo run --release -q -p abacus-cli --bin abacus-repro -- faults --fast --out "$FAULTS_SERIAL" --serial >/dev/null
+cargo run --release -q -p abacus-cli --bin abacus-repro -- faults --fast --out "$FAULTS_PARALLEL" >/dev/null
+cmp "$FAULTS_SERIAL/faults.csv" "$FAULTS_PARALLEL/faults.csv" || {
+    echo "fault sweep diverged between serial and parallel runs" >&2
+    exit 1
+}
+
 echo "all bench gates passed"

@@ -15,6 +15,9 @@ cargo clippy -q --workspace -- -D warnings
 echo "== tests =="
 cargo test -q
 
+echo "== fault suite (incl. ignored long-runners) =="
+cargo test -q -p integration --test fault_properties -- --include-ignored
+
 echo "== bench gates =="
 scripts/bench_check.sh
 

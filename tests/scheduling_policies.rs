@@ -4,11 +4,12 @@
 
 use abacus_core::{AbacusConfig, AbacusScheduler, Query, Scheduler};
 use dnn_models::{ModelId, ModelLibrary, QueryInput};
+use faults::{FaultPlan, PredictorFault};
 use gpu_sim::{GpuSpec, MigProfile, NoiseModel};
 use predictor::LatencyModel;
 use serving::{
-    run_colocation, run_with_services, train_unified, ColocationConfig, PolicyKind, ServiceSpec,
-    TrainerConfig,
+    run_colocation, run_colocation_faulty, run_with_services, train_unified, ColocationConfig,
+    NodeOptions, PolicyKind, ServiceSpec, TrainerConfig,
 };
 use std::sync::Arc;
 
@@ -163,6 +164,114 @@ fn mig_isolation_story() {
         &cfg,
     );
     assert!(full.violation_ratio() < isolated.violation_ratio());
+}
+
+/// Metamorphic: raising the fault intensity never makes serving *better*.
+/// [`FaultPlan::at_intensity`] makes every injection strictly harsher with
+/// intensity, so the QoS-violation ratio must be non-decreasing along the
+/// dose axis (small slack for arrival-pattern resampling at the burst).
+#[test]
+fn qos_violations_monotone_in_fault_intensity() {
+    let (lib, gpu, noise) = setup();
+    let pair = [ModelId::ResNet50, ModelId::ResNet152];
+    let cfg = ColocationConfig {
+        qps_per_service: 25.0,
+        horizon_ms: 5_000.0,
+        seed: 11,
+        ..ColocationConfig::default()
+    };
+    let mut last = -1.0;
+    for intensity in [0.0, 0.5, 1.0] {
+        let plan = FaultPlan::at_intensity(41, intensity);
+        let out = run_colocation_faulty(
+            &pair,
+            PolicyKind::Fcfs,
+            None,
+            &lib,
+            &gpu,
+            &noise,
+            &cfg,
+            &plan,
+            NodeOptions::default(),
+        );
+        assert!(out.invariant_violations.is_empty());
+        let v = out.result.violation_ratio();
+        assert!(
+            v >= last - 0.02,
+            "intensity {intensity}: violation ratio {v} dropped below {last}"
+        );
+        last = v;
+    }
+    // The dose must actually bite: full intensity is strictly worse than
+    // fault-free, not merely non-decreasing within the slack.
+    assert!(last > 0.1, "full-intensity run suspiciously healthy: {last}");
+}
+
+/// Metamorphic: under *total* predictor failure (frozen output), Abacus
+/// with the defensive runtime degrades to FCFS dispatch instead of
+/// trusting garbage — so it never ends up meaningfully worse than having
+/// run plain FCFS from the start.
+#[test]
+fn degraded_abacus_never_worse_than_fcfs_under_total_predictor_failure() {
+    let (lib, gpu, noise) = setup();
+    let pair = [ModelId::ResNet50, ModelId::InceptionV3];
+    let mlp = trained_pair(&pair, &lib, &gpu, &noise);
+    let cfg = ColocationConfig {
+        qps_per_service: 25.0,
+        horizon_ms: 6_000.0,
+        seed: 15,
+        abacus: AbacusConfig {
+            predict_round_ms: Some(0.08),
+            adaptive_margin: true,
+            fcfs_fallback_error: Some(0.5),
+            ..AbacusConfig::default()
+        },
+        ..ColocationConfig::default()
+    };
+    // The predictor answers a constant regardless of input — certifying
+    // every group as trivially cheap (the dangerous direction).
+    let plan = FaultPlan {
+        seed: 5,
+        predictor: Some(PredictorFault::Freeze { value_ms: 0.01 }),
+        ..FaultPlan::none()
+    };
+    let defended = run_colocation_faulty(
+        &pair,
+        PolicyKind::Abacus,
+        Some(mlp),
+        &lib,
+        &gpu,
+        &noise,
+        &cfg,
+        &plan,
+        NodeOptions {
+            timeout_factor: Some(3.0),
+        },
+    );
+    assert!(defended.invariant_violations.is_empty());
+    assert!(
+        defended.degraded,
+        "total predictor failure must trip the FCFS fallback"
+    );
+    let fcfs = run_colocation_faulty(
+        &pair,
+        PolicyKind::Fcfs,
+        None,
+        &lib,
+        &gpu,
+        &noise,
+        &cfg,
+        &plan,
+        NodeOptions::default(),
+    );
+    let (dv, fv) = (
+        defended.result.violation_ratio(),
+        fcfs.result.violation_ratio(),
+    );
+    assert!(
+        dv <= fv + 0.05,
+        "degraded Abacus ({dv}) worse than plain FCFS ({fv})"
+    );
 }
 
 /// SJF pays prediction latency on the critical path; with a deep queue its

@@ -48,6 +48,45 @@ pub mod strategy {
         }
     }
 
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start() + (self.end() - self.start()) * rng.unit_f64()
+        }
+    }
+
+    /// The constant strategy: always yields a clone of its value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed strategies of a common value type
+    /// (the expansion of [`prop_oneof!`]). Unweighted, unlike upstream.
+    pub struct Union<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Self { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let i = (0..self.arms.len()).sample(rng);
+            self.arms[i].sample(rng)
+        }
+    }
+
     macro_rules! impl_int_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for core::ops::Range<$t> {
@@ -81,6 +120,33 @@ pub mod strategy {
         (A.0, B.1, C.2),
         (A.0, B.1, C.2, D.3)
     );
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option`s (the expansion of `proptest::option::of`).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `proptest::option::of(element)` — `Some` three times out of four
+    /// (upstream defaults to mostly-`Some` too).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.unit_f64() < 0.75 {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
 }
 
 pub mod collection {
@@ -176,9 +242,22 @@ pub mod test_runner {
 }
 
 pub mod prelude {
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Uniform choice between strategies yielding the same value type:
+/// `prop_oneof![strat_a, strat_b, ...]`. Unweighted (upstream's
+/// `weight => strategy` form is not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let arms: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($arm)),+];
+        $crate::strategy::Union::new(arms)
+    }};
 }
 
 /// Assert inside a property body; panics with the formatted message on
@@ -272,6 +351,20 @@ mod tests {
         fn vec_lengths(v in crate::collection::vec(0.0f64..1.0, 2..6)) {
             prop_assert!((2..6).contains(&v.len()));
             prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        /// Inclusive f64 ranges, Just, prop_oneof and option::of compose.
+        #[test]
+        fn extended_strategies(
+            x in 0.0f64..=1.0,
+            y in prop_oneof![Just(-1.0f64), 5.0f64..6.0],
+            o in crate::option::of(2u64..5),
+        ) {
+            prop_assert!((0.0..=1.0).contains(&x));
+            prop_assert!(y == -1.0 || (5.0..6.0).contains(&y));
+            if let Some(v) = o {
+                prop_assert!((2..5).contains(&v));
+            }
         }
     }
 }
