@@ -41,6 +41,10 @@ use workload::fork_seed;
 /// A metric fails the `--check` gate past this factor.
 const REGRESSION_FACTOR: f64 = 2.0;
 
+/// Attaching a counters-only [`telemetry::Telemetry`] may cost at most this
+/// much of the cell's wall time in `--check` mode.
+const TELEMETRY_OVERHEAD_LIMIT_PCT: f64 = 2.0;
+
 struct CellOutcome {
     p99: f64,
     violations: f64,
@@ -83,6 +87,41 @@ fn run_cell(
     let pred: Option<Arc<dyn LatencyModel>> =
         (policy == PolicyKind::Abacus).then(|| fx.model());
     run_colocation(pair, policy, pred, &fx.lib, &fx.gpu, noise, &cfg)
+}
+
+/// The Abacus cell of [`run_cell`] with a counters-only telemetry attached
+/// (no kernel trace) — the overhead-gate workload.
+fn run_cell_traced(
+    fx: &Fixture,
+    noise: &NoiseModel,
+    pair: &[ModelId],
+    horizon_ms: f64,
+    seed: u64,
+) -> ColocationResult {
+    let abacus = abacus_core::AbacusConfig {
+        predict_round_ms: Some(0.09),
+        ..Default::default()
+    };
+    let cfg = ColocationConfig {
+        qps_per_service: 50.0 / pair.len() as f64,
+        horizon_ms,
+        seed,
+        abacus,
+        ..ColocationConfig::default()
+    };
+    let mut tel = telemetry::Telemetry::new();
+    let (r, _) = serving::run_colocation_traced(
+        pair,
+        PolicyKind::Abacus,
+        Some(fx.model()),
+        &fx.lib,
+        &fx.gpu,
+        noise,
+        &cfg,
+        &mut tel,
+    );
+    std::hint::black_box(tel.registry.get(telemetry::Counter::QueriesArrived));
+    r
 }
 
 fn main() {
@@ -154,6 +193,49 @@ fn main() {
     let cell_abacus_ms = t0.elapsed().as_secs_f64() * 1e3;
     eprintln!("  fig14 cell ({:.0} ms horizon): FCFS {cell_fcfs_ms:.0} ms, Abacus {cell_abacus_ms:.0} ms", cell_horizon_ms);
 
+    // --- Telemetry overhead: the same Abacus cell with a counters-only
+    // Telemetry attached. Each timed sample is a batch of 3 seeds so the
+    // sample rises above timer granularity; the off/on samples interleave
+    // and the estimate compares the *minimum* over reps — external noise
+    // (a co-tenant on the core, a page fault) only ever adds time, so the
+    // minima converge on the true costs where medians still wobble on a
+    // time-shared host. A first estimate over the limit is re-measured and
+    // the lower estimate kept: a burst of steal time inflates one phase,
+    // a real regression inflates both.
+    let measure_overhead = |reps: usize, batch: u64| -> (f64, f64) {
+        let mut off_min = f64::INFINITY;
+        let mut on_min = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            for seed in 0..batch {
+                std::hint::black_box(run_cell(&fx, &noise, &pair, PolicyKind::Abacus, cell_horizon_ms, 2021 + seed));
+            }
+            off_min = off_min.min(t0.elapsed().as_secs_f64() * 1e3 / batch as f64);
+            let t0 = Instant::now();
+            for seed in 0..batch {
+                std::hint::black_box(run_cell_traced(&fx, &noise, &pair, cell_horizon_ms, 2021 + seed));
+            }
+            on_min = on_min.min(t0.elapsed().as_secs_f64() * 1e3 / batch as f64);
+        }
+        (off_min, on_min)
+    };
+    let (mut telemetry_off_cell_ms, mut telemetry_cell_ms) = measure_overhead(15, 3);
+    if (telemetry_cell_ms - telemetry_off_cell_ms) / telemetry_off_cell_ms * 100.0
+        > TELEMETRY_OVERHEAD_LIMIT_PCT
+    {
+        let (off2, on2) = measure_overhead(15, 3);
+        if on2 - off2 < telemetry_cell_ms - telemetry_off_cell_ms {
+            telemetry_off_cell_ms = off2;
+            telemetry_cell_ms = on2;
+        }
+    }
+    let telemetry_overhead_pct =
+        (telemetry_cell_ms - telemetry_off_cell_ms) / telemetry_off_cell_ms * 100.0;
+    eprintln!(
+        "  telemetry: off {telemetry_off_cell_ms:.2} ms, on {telemetry_cell_ms:.2} ms \
+         ({telemetry_overhead_pct:+.2}% overhead, min over interleaved batches)"
+    );
+
     // --- Sweep: 2 pairs x 4 policies, serial loop vs parallel fan-out.
     let pairs: [&[ModelId]; 2] = [
         &[ModelId::ResNet50, ModelId::ResNet152],
@@ -205,6 +287,9 @@ fn main() {
     s.push_str(&format!("  \"fig14_cell_horizon_ms\": {cell_horizon_ms:.0},\n"));
     s.push_str(&format!("  \"fig14_cell_fcfs_ms\": {cell_fcfs_ms:.1},\n"));
     s.push_str(&format!("  \"fig14_cell_abacus_ms\": {cell_abacus_ms:.1},\n"));
+    s.push_str(&format!("  \"telemetry_off_cell_ms\": {telemetry_off_cell_ms:.2},\n"));
+    s.push_str(&format!("  \"telemetry_cell_ms\": {telemetry_cell_ms:.2},\n"));
+    s.push_str(&format!("  \"telemetry_overhead_pct\": {telemetry_overhead_pct:.2},\n"));
     s.push_str(&format!("  \"sweep_cells\": {},\n", cells.len()));
     s.push_str(&format!("  \"sweep_serial_ms\": {sweep_serial_ms:.1},\n"));
     s.push_str(&format!("  \"sweep_parallel_ms\": {sweep_parallel_ms:.1},\n"));
@@ -259,6 +344,20 @@ fn main() {
             } else {
                 eprintln!("ok: fig14 cell {cell_fcfs_ms:.0} ms vs baseline {base_ms:.0} ms ({ratio:.2}x per simulated ms)");
             }
+        }
+        // Telemetry overhead gate: counters must stay effectively free. The
+        // 0.5 ms absolute floor keeps timer granularity and virtualised-host
+        // steal bursts on sub-10 ms cells from tripping the percentage.
+        if telemetry_overhead_pct > TELEMETRY_OVERHEAD_LIMIT_PCT
+            && telemetry_cell_ms - telemetry_off_cell_ms > 0.5
+        {
+            eprintln!(
+                "REGRESSION: telemetry costs {telemetry_overhead_pct:.2}% of the Abacus cell \
+                 (> {TELEMETRY_OVERHEAD_LIMIT_PCT}% limit)"
+            );
+            failed = true;
+        } else {
+            eprintln!("ok: telemetry overhead {telemetry_overhead_pct:+.2}% (limit {TELEMETRY_OVERHEAD_LIMIT_PCT}%)");
         }
         if failed {
             std::process::exit(1);

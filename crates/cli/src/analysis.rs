@@ -27,10 +27,18 @@ pub fn run(opts: &Options) {
     };
     let mut csv = CsvWriter::create(
         opts.csv_path("analysis"),
-        &["policy", "mean_queue_ms", "mean_service_ms", "mean_latency_ms", "p99_ms"],
+        &[
+            "policy",
+            "mean_queue_ms",
+            "queue_p50_ms",
+            "queue_p99_ms",
+            "mean_service_ms",
+            "mean_latency_ms",
+            "p99_ms",
+        ],
     )
     .expect("csv");
-    let mut table = Table::new(vec!["policy", "queue", "service", "mean e2e", "p99"]);
+    let mut table = Table::new(vec!["policy", "queue", "q50", "q99", "service", "mean e2e", "p99"]);
     println!(
         "Latency anatomy — ({},{}) at {} QPS aggregate (completed queries)",
         pair[0].name(),
@@ -43,7 +51,14 @@ pub fn run(opts: &Options) {
         let queue = r.all.mean_queue_ms();
         let mean = r.all.mean_latency();
         let service = mean - queue;
-        let row = [queue, service, mean, r.all.p99_latency()];
+        let row = [
+            queue,
+            r.all.queue_p50_ms(),
+            r.all.queue_p99_ms(),
+            service,
+            mean,
+            r.all.p99_latency(),
+        ];
         csv.write_record(policy.name(), &row).expect("row");
         table.row_f64(policy.name().to_string(), &row, 1);
     }
@@ -66,20 +81,7 @@ pub fn run(opts: &Options) {
         engine.add_stream(ks, 0.0);
     }
     engine.run_until_idle();
-    let mut trace_csv = CsvWriter::create(
-        opts.csv_path("trace"),
-        &["stream", "kernel", "start_ms", "end_ms"],
-    )
-    .expect("csv");
-    for span in engine.trace() {
-        trace_csv
-            .write_record(
-                &span.stream.0.to_string(),
-                &[span.kernel as f64, span.start_ms, span.end_ms],
-            )
-            .expect("row");
-    }
-    trace_csv.flush().expect("flush");
+    telemetry::export::kernel_spans_csv(opts.csv_path("trace"), engine.trace()).expect("trace csv");
     println!(
         "kernel-span trace of one (Res152[0..120] ∥ Bert[0..173]) group: {} spans -> {}",
         engine.trace().len(),

@@ -24,6 +24,7 @@ mod multiway;
 mod pairwise;
 mod summary;
 mod tables;
+mod trace_cmd;
 
 use common::{ensure_out_dir, parse_options};
 
@@ -42,6 +43,7 @@ experiments:
   analysis  latency anatomy + overlap trace (extension)
   affinity  §7.8 co-location affinity survey + service-group planning
   faults    QoS violations vs fault intensity + invariant check (extension)
+  trace     telemetry: Perfetto trace, decision ledger, §5.2 error sweep
   all       everything above, in order
 
 options:
@@ -83,6 +85,7 @@ fn main() {
         "affinity" => affinity_cmd::run(&opts),
         "analysis" => analysis::run(&opts),
         "faults" => faults_cmd::run(&opts),
+        "trace" => trace_cmd::run(&opts),
         "summary" => summary::run(&opts),
         "all" => {
             tables::table1(&opts);
@@ -102,6 +105,7 @@ fn main() {
             affinity_cmd::run(&opts);
             analysis::run(&opts);
             faults_cmd::run(&opts);
+            trace_cmd::run(&opts);
             summary::run(&opts);
         }
         other => {

@@ -18,4 +18,7 @@ pub use sim::{
     cluster_workload, run_cluster, run_cluster_detailed, ClusterConfig, ClusterRunResult,
     ClusterSystem, GpuUsage,
 };
-pub use timeline::{build_timeline, summarize, TimelinePoint, TimelineSummary};
+pub use timeline::{
+    add_counter_tracks, build_timeline, build_timeline_bucketed, summarize, TimelinePoint,
+    TimelineSummary,
+};

@@ -5,12 +5,14 @@
 //! latency, for Abacus and Clockwork against the offered load.
 
 use abacus_metrics::{percentile, QueryOutcome, QueryRecord};
+use telemetry::{ChromeTrace, PID_COUNTERS};
 use workload::Arrival;
 
 /// One minute of the Fig. 22 series.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimelinePoint {
-    /// Minute index.
+    /// Bucket index (a minute in the Fig. 22 series; arbitrary width via
+    /// [`build_timeline_bucketed`]).
     pub minute: usize,
     /// Offered load, requests/s (arrival batch sizes summed).
     pub offered_rps: f64,
@@ -29,36 +31,68 @@ pub fn build_timeline(
     records: &[QueryRecord],
     minutes: usize,
 ) -> Vec<TimelinePoint> {
+    build_timeline_bucketed(arrivals, arrival_requests, records, minutes, 60_000.0)
+}
+
+/// [`build_timeline`] with an arbitrary bucket width (ms). With
+/// `bucket_ms = 60_000.0` this is exactly the per-minute Fig. 22 series
+/// (the /60 denominator falls out of `bucket_ms / 1000`, both exact).
+pub fn build_timeline_bucketed(
+    arrivals: &[Arrival],
+    arrival_requests: &[u32],
+    records: &[QueryRecord],
+    buckets: usize,
+    bucket_ms: f64,
+) -> Vec<TimelinePoint> {
     assert_eq!(arrivals.len(), arrival_requests.len());
-    let mut offered = vec![0.0f64; minutes];
+    assert!(bucket_ms > 0.0);
+    let bucket_s = bucket_ms / 1000.0;
+    let mut offered = vec![0.0f64; buckets];
     for (a, &req) in arrivals.iter().zip(arrival_requests) {
-        let m = (a.at_ms / 60_000.0) as usize;
-        if m < minutes {
+        let m = (a.at_ms / bucket_ms) as usize;
+        if m < buckets {
             offered[m] += f64::from(req);
         }
     }
-    let mut achieved = vec![0.0f64; minutes];
-    let mut latencies: Vec<Vec<f64>> = vec![Vec::new(); minutes];
+    let mut achieved = vec![0.0f64; buckets];
+    let mut latencies: Vec<Vec<f64>> = vec![Vec::new(); buckets];
     for r in records {
         if r.outcome != QueryOutcome::Completed {
             continue;
         }
         let end = r.arrival_ms + r.latency_ms;
-        let m = (end / 60_000.0) as usize;
-        if m < minutes {
+        let m = (end / bucket_ms) as usize;
+        if m < buckets {
             achieved[m] += f64::from(r.requests);
             latencies[m].push(r.latency_ms);
         }
     }
-    (0..minutes)
+    (0..buckets)
         .map(|m| TimelinePoint {
             minute: m,
-            offered_rps: offered[m] / 60.0,
-            achieved_rps: achieved[m] / 60.0,
+            offered_rps: offered[m] / bucket_s,
+            achieved_rps: achieved[m] / bucket_s,
             p99_ms: percentile(&latencies[m], 99.0),
             avg_ms: abacus_metrics::mean(&latencies[m]),
         })
         .collect()
+}
+
+/// Lower a timeline onto Chrome trace counter (`C`) tracks: one sample per
+/// bucket for offered vs achieved load, and one for the bucket's p99
+/// latency — the Perfetto view of the Fig. 22 panels.
+pub fn add_counter_tracks(trace: &mut ChromeTrace, points: &[TimelinePoint], bucket_ms: f64) {
+    trace.add_process_name(PID_COUNTERS, "load");
+    for p in points {
+        let ts = p.minute as f64 * bucket_ms;
+        trace.add_counter(
+            PID_COUNTERS,
+            "rps",
+            ts,
+            &[("offered", p.offered_rps), ("achieved", p.achieved_rps)],
+        );
+        trace.add_counter(PID_COUNTERS, "p99_ms", ts, &[("p99", p.p99_ms)]);
+    }
 }
 
 /// Aggregate over the whole run (skipping a warm-up prefix).
@@ -161,5 +195,41 @@ mod tests {
         let tl = build_timeline(&[], &[], &[], 3);
         assert_eq!(tl.len(), 3);
         assert!(tl.iter().all(|p| p.achieved_rps == 0.0 && p.p99_ms == 0.0));
+    }
+
+    #[test]
+    fn bucketed_with_minute_width_matches_build_timeline() {
+        let arrivals = vec![
+            Arrival { service: 0, at_ms: 1_000.0 },
+            Arrival { service: 1, at_ms: 61_000.0 },
+        ];
+        let reqs = vec![8, 16];
+        let records = vec![
+            rec(1_000.0, 50.0, QueryOutcome::Completed, 8),
+            rec(61_000.0, 70.0, QueryOutcome::Completed, 16),
+        ];
+        let a = build_timeline(&arrivals, &reqs, &records, 2);
+        let b = build_timeline_bucketed(&arrivals, &reqs, &records, 2, 60_000.0);
+        assert_eq!(a, b);
+        // Finer buckets re-normalise the rates to the bucket width.
+        let fine = build_timeline_bucketed(&arrivals, &reqs, &records, 4, 30_000.0);
+        assert_eq!(fine.len(), 4);
+        assert!((fine[0].offered_rps - 8.0 / 30.0).abs() < 1e-12);
+        assert!((fine[2].achieved_rps - 16.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_tracks_emit_one_sample_pair_per_bucket() {
+        let points = vec![
+            TimelinePoint { minute: 0, offered_rps: 10.0, achieved_rps: 9.0, p99_ms: 40.0, avg_ms: 20.0 },
+            TimelinePoint { minute: 1, offered_rps: 12.0, achieved_rps: 11.0, p99_ms: 45.0, avg_ms: 22.0 },
+        ];
+        let mut trace = ChromeTrace::new();
+        add_counter_tracks(&mut trace, &points, 500.0);
+        // 1 process-name event + 2 counter events per point.
+        assert_eq!(trace.len(), 1 + 2 * points.len());
+        let json = trace.to_json();
+        assert!(json.contains("\"offered\":12"));
+        assert!(json.contains("\"ts\":500000")); // minute 1 at 500 ms = 5e5 µs
     }
 }

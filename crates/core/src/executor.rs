@@ -55,6 +55,11 @@ pub struct SegmentalExecutor {
     /// windows are expressed on this clock (the engine's own clock resets
     /// to zero every group).
     busy_ms: f64,
+    /// Cumulative kernel-level engine events across executed groups (the
+    /// engine's own counter resets every group).
+    events: u64,
+    /// Cumulative fault-spike activations across executed groups.
+    fault_spikes: u64,
     /// Reused completion buffer for [`Engine::completions_into`].
     completions: Vec<StreamCompletion>,
 }
@@ -68,6 +73,8 @@ impl SegmentalExecutor {
             seed,
             rounds: 0,
             busy_ms: 0.0,
+            events: 0,
+            fault_spikes: 0,
             completions: Vec::new(),
         }
     }
@@ -82,6 +89,30 @@ impl SegmentalExecutor {
     /// Cumulative GPU busy time across all executed groups, ms.
     pub fn busy_ms(&self) -> f64 {
         self.busy_ms
+    }
+
+    /// Cumulative kernel-level engine events across all executed groups.
+    pub fn engine_events(&self) -> u64 {
+        self.events
+    }
+
+    /// Cumulative fault-spike activations across all executed groups.
+    pub fn fault_spikes(&self) -> u64 {
+        self.fault_spikes
+    }
+
+    /// Record each group's per-kernel execution spans (engine-local time;
+    /// read them back with [`SegmentalExecutor::kernel_trace`] after each
+    /// `execute`). Enable before the first group.
+    pub fn enable_kernel_trace(&mut self) {
+        self.engine.enable_trace();
+    }
+
+    /// The most recent group's kernel spans, in completion order (empty
+    /// unless kernel tracing was enabled). Spans are on the engine's
+    /// group-local clock, starting at zero each group.
+    pub fn kernel_trace(&self) -> &[gpu_sim::KernelSpan] {
+        self.engine.trace()
     }
 
     /// The GPU this executor drives.
@@ -125,6 +156,8 @@ impl SegmentalExecutor {
             max_end - min_start
         };
         self.busy_ms += total_ms;
+        self.events += self.engine.events();
+        self.fault_spikes += self.engine.fault_spikes();
         // Save/restore bookkeeping for partial queries.
         let mut overhead = GROUP_SYNC_MS;
         let mut saved_bytes = 0.0;

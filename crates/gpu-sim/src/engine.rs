@@ -86,6 +86,8 @@ pub struct KernelSpan {
     pub start_ms: f64,
     /// Execution end, ms.
     pub end_ms: f64,
+    /// The kernel's SM occupancy share in `(0, 1]`.
+    pub occupancy: f64,
 }
 
 /// The co-execution engine. See module docs.
@@ -120,6 +122,9 @@ pub struct Engine {
     /// long open-loop runs stop growing `streams` unboundedly.
     recycle: bool,
     events: u64,
+    /// Fault spike activations (kernels whose duration was actually
+    /// perturbed) since the last reset.
+    fault_spikes: u64,
     /// Per-kernel execution spans; populated only when tracing is on.
     trace: Option<Vec<KernelSpan>>,
     /// Seed of the current run (recorded so a fault spec installed
@@ -153,6 +158,7 @@ impl Engine {
             spare_kernels: Vec::new(),
             recycle: false,
             events: 0,
+            fault_spikes: 0,
             trace: None,
             run_seed: seed,
             faults: None,
@@ -174,6 +180,7 @@ impl Engine {
         }
         self.time_ms = 0.0;
         self.events = 0;
+        self.fault_spikes = 0;
         for s in &mut self.streams {
             let buf = std::mem::take(&mut s.kernels);
             if buf.capacity() > 0 && self.spare_kernels.len() < SPARE_POOL_CAP {
@@ -260,6 +267,12 @@ impl Engine {
     /// Number of kernel-level events processed so far.
     pub fn events(&self) -> u64 {
         self.events
+    }
+
+    /// Number of fault spikes that actually perturbed a kernel since the
+    /// last reset.
+    pub fn fault_spikes(&self) -> u64 {
+        self.fault_spikes
     }
 
     /// The GPU this engine simulates.
@@ -359,7 +372,11 @@ impl Engine {
             if let Some(f) = &mut self.faults {
                 // Separate draw stream: installed-but-never-spiking specs
                 // leave `dur` — and the whole run — bit-identical.
-                dur *= f.spike_factor(self.time_ms);
+                let sf = f.spike_factor(self.time_ms);
+                if sf != 1.0 {
+                    self.fault_spikes += 1;
+                }
+                dur *= sf;
             }
             if dur <= 0.0 {
                 // Degenerate zero-cost kernel: complete instantly.
@@ -429,11 +446,13 @@ impl Engine {
                     self.remove_active(pos);
                     self.events += 1;
                     if let Some(trace) = &mut self.trace {
+                        let s = &self.streams[idx];
                         trace.push(KernelSpan {
                             stream: StreamId(idx),
-                            kernel: self.streams[idx].next - 1,
-                            start_ms: self.streams[idx].kernel_started_ms,
+                            kernel: s.next - 1,
+                            start_ms: s.kernel_started_ms,
                             end_ms: self.time_ms,
+                            occupancy: s.kernels[s.next - 1].occupancy(&self.gpu),
                         });
                     }
                     self.start_next_kernel(idx);

@@ -59,6 +59,10 @@ impl QueryRecord {
 #[derive(Debug, Clone, Default)]
 pub struct ServiceStats {
     completed_latencies: Vec<f64>,
+    /// Queueing delays of completed queries, parallel to
+    /// `completed_latencies` (the running `queue_sum_ms` stays — the mean
+    /// must remain the exact incremental sum the golden results pin).
+    queue_delays: Vec<f64>,
     queue_sum_ms: f64,
     completed_within_qos: usize,
     requests_within_qos: u64,
@@ -80,6 +84,7 @@ impl ServiceStats {
         match r.outcome {
             QueryOutcome::Completed => {
                 self.queue_sum_ms += r.queue_ms;
+                self.queue_delays.push(r.queue_ms);
                 self.completed_latencies.push(r.latency_ms);
                 if r.latency_ms <= r.qos_ms {
                     self.completed_within_qos += 1;
@@ -109,6 +114,7 @@ impl ServiceStats {
     pub fn extend_from(&mut self, other: &ServiceStats) {
         self.completed_latencies
             .extend_from_slice(&other.completed_latencies);
+        self.queue_delays.extend_from_slice(&other.queue_delays);
         self.queue_sum_ms += other.queue_sum_ms;
         self.completed_within_qos += other.completed_within_qos;
         self.requests_within_qos += other.requests_within_qos;
@@ -154,6 +160,21 @@ impl ServiceStats {
             return 0.0;
         }
         self.queue_sum_ms / self.completed_latencies.len() as f64
+    }
+
+    /// Arbitrary percentile of the queueing delay over completed queries.
+    pub fn queue_percentile(&self, p: f64) -> f64 {
+        percentile(&self.queue_delays, p)
+    }
+
+    /// Median queueing delay of completed queries, ms.
+    pub fn queue_p50_ms(&self) -> f64 {
+        self.queue_percentile(50.0)
+    }
+
+    /// 99%-ile queueing delay of completed queries, ms.
+    pub fn queue_p99_ms(&self) -> f64 {
+        self.queue_percentile(99.0)
     }
 
     /// QoS violation ratio in `[0, 1]`: (late completions + drops +
@@ -288,6 +309,23 @@ mod tests {
         // Drops do not pollute the completed-query breakdown.
         s.record(&rec(99.0, 50.0, QueryOutcome::Dropped));
         assert!((s.mean_queue_ms() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_percentiles_over_completed_only() {
+        let mut s = ServiceStats::new();
+        for i in 1..=100 {
+            s.record(&rec(4.0 * i as f64, 1000.0, QueryOutcome::Completed));
+        }
+        s.record(&rec(8000.0, 1000.0, QueryOutcome::Dropped)); // huge queue_ms, ignored
+        assert!((s.queue_p50_ms() - 50.0).abs() < 1.0, "{}", s.queue_p50_ms());
+        assert!(s.queue_p99_ms() <= 100.0, "{}", s.queue_p99_ms());
+        assert!(s.queue_p99_ms() > s.queue_p50_ms());
+        // Pooling carries the delay pool across.
+        let mut pooled = ServiceStats::new();
+        pooled.extend_from(&s);
+        assert_eq!(pooled.queue_p50_ms(), s.queue_p50_ms());
+        assert_eq!(ServiceStats::new().queue_p99_ms(), 0.0);
     }
 
     #[test]

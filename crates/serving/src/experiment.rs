@@ -7,7 +7,9 @@
 //! policies of a figure row are compared on *identical* query streams.
 
 use crate::invariants::InvariantChecker;
-use crate::node::{simulate_node_checked, NodeOptions, NodeWorkload, ServiceSpec};
+use crate::node::{
+    simulate_node_checked, simulate_node_instrumented, NodeOptions, NodeWorkload, ServiceSpec,
+};
 use abacus_core::{
     AbacusConfig, AbacusScheduler, BaselinePolicy, BaselineScheduler, Scheduler,
     SegmentalExecutor,
@@ -18,6 +20,7 @@ use faults::{burst_arrivals, burst_input_rng, FaultPlan};
 use gpu_sim::{GpuSpec, NoiseModel};
 use predictor::LatencyModel;
 use std::sync::Arc;
+use telemetry::Telemetry;
 use workload::{fork_seed, merge_arrivals, PoissonProcess, SeededRng};
 
 /// The four policies compared throughout §7.
@@ -195,8 +198,35 @@ pub fn run_with_services(
     cfg: &ColocationConfig,
 ) -> ColocationResult {
     let workload = build_workload(services, lib, cfg);
+    let mut scheduler = make_scheduler(policy, predictor, lib, gpu, cfg);
+    let mut executor = SegmentalExecutor::new(
+        gpu.clone(),
+        noise.clone(),
+        lib.clone(),
+        fork_seed(cfg.seed, 0xE0),
+    );
+    let records = simulate_node_checked(
+        scheduler.as_mut(),
+        &mut executor,
+        lib,
+        services,
+        &workload,
+        NodeOptions::default(),
+        None,
+    );
+    aggregate(&records, services, cfg)
+}
 
-    let mut scheduler: Box<dyn Scheduler> = match policy {
+/// Build the scheduler a policy runs under (the same construction every
+/// driver uses). `predictor` is required for [`PolicyKind::Abacus`].
+pub fn make_scheduler(
+    policy: PolicyKind,
+    predictor: Option<Arc<dyn LatencyModel>>,
+    lib: &Arc<ModelLibrary>,
+    gpu: &GpuSpec,
+    cfg: &ColocationConfig,
+) -> Box<dyn Scheduler> {
+    match policy {
         PolicyKind::Fcfs => Box::new(BaselineScheduler::new(
             BaselinePolicy::Fcfs,
             lib.clone(),
@@ -217,23 +247,54 @@ pub fn run_with_services(
             lib.clone(),
             cfg.abacus.clone(),
         )),
-    };
+    }
+}
+
+/// [`run_colocation`] with full telemetry recorded into `telemetry`.
+///
+/// Identical workload, scheduler and executor seeding to the plain driver —
+/// the returned [`ColocationResult`] and records are bit-identical to
+/// [`run_colocation`]'s for the same inputs; only the observations differ.
+/// Also returns the raw per-query records (the telemetry event stream joins
+/// against them by query id).
+#[allow(clippy::too_many_arguments)]
+pub fn run_colocation_traced(
+    models: &[ModelId],
+    policy: PolicyKind,
+    predictor: Option<Arc<dyn LatencyModel>>,
+    lib: &Arc<ModelLibrary>,
+    gpu: &GpuSpec,
+    noise: &NoiseModel,
+    cfg: &ColocationConfig,
+    telemetry: &mut Telemetry,
+) -> (ColocationResult, Vec<QueryRecord>) {
+    let services = services_for(models, lib, gpu, cfg.small_inputs);
+    let workload = build_workload(&services, lib, cfg);
+    if policy == PolicyKind::Abacus {
+        telemetry.set_predictor_ways(cfg.abacus.ways);
+    }
+    let mut scheduler = make_scheduler(policy, predictor, lib, gpu, cfg);
     let mut executor = SegmentalExecutor::new(
         gpu.clone(),
         noise.clone(),
         lib.clone(),
         fork_seed(cfg.seed, 0xE0),
     );
-    let records = simulate_node_checked(
+    if telemetry.kernel_trace_enabled() {
+        executor.enable_kernel_trace();
+    }
+    let records = simulate_node_instrumented(
         scheduler.as_mut(),
         &mut executor,
         lib,
-        services,
+        &services,
         &workload,
         NodeOptions::default(),
         None,
+        Some(telemetry),
     );
-    aggregate(&records, services, cfg)
+    let result = aggregate(&records, &services, cfg);
+    (result, records)
 }
 
 fn aggregate(

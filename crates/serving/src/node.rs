@@ -14,6 +14,7 @@ use crate::invariants::InvariantChecker;
 use abacus_core::{Query, Scheduler, SegmentalExecutor};
 use abacus_metrics::{QueryOutcome, QueryRecord};
 use dnn_models::{ModelId, ModelLibrary, QueryInput};
+use telemetry::{Counter, Hist, LedgerEntry, RoundEntry, Telemetry};
 use workload::Arrival;
 
 /// A deployed service: the model plus its QoS target on this node.
@@ -101,7 +102,29 @@ pub fn simulate_node_checked(
     services: &[ServiceSpec],
     workload: &NodeWorkload,
     opts: NodeOptions,
+    checker: Option<&mut InvariantChecker>,
+) -> Vec<QueryRecord> {
+    simulate_node_instrumented(scheduler, executor, lib, services, workload, opts, checker, None)
+}
+
+/// [`simulate_node_checked`] with opt-in telemetry.
+///
+/// With `telemetry: None` this is the exact loop the un-instrumented entry
+/// points run — no telemetry branch mutates simulation state, so results
+/// are byte-identical (the golden-checksum tests pin this). With
+/// `Some(t)`, the run's query-lifecycle events, scheduler decision ledger
+/// and counters are recorded into `t`; when `t` asks for kernel traces the
+/// caller must also have called [`SegmentalExecutor::enable_kernel_trace`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_node_instrumented(
+    scheduler: &mut dyn Scheduler,
+    executor: &mut SegmentalExecutor,
+    lib: &ModelLibrary,
+    services: &[ServiceSpec],
+    workload: &NodeWorkload,
+    opts: NodeOptions,
     mut checker: Option<&mut InvariantChecker>,
+    mut telemetry: Option<&mut Telemetry>,
 ) -> Vec<QueryRecord> {
     let mut records = Vec::with_capacity(workload.len());
     let mut queue: Vec<Query> = Vec::new();
@@ -127,6 +150,7 @@ pub fn simulate_node_checked(
     };
 
     // Retire `queue[pos]` with `outcome` at `now`.
+    #[allow(clippy::too_many_arguments)]
     fn retire(
         queue: &mut Vec<Query>,
         pos: usize,
@@ -135,32 +159,46 @@ pub fn simulate_node_checked(
         services: &[ServiceSpec],
         records: &mut Vec<QueryRecord>,
         checker: &mut Option<&mut InvariantChecker>,
+        telemetry: &mut Option<&mut Telemetry>,
     ) {
         let q = queue.swap_remove(pos);
         if let Some(c) = checker.as_deref_mut() {
             c.on_terminal(q.id, outcome, now);
         }
+        let service = service_index(services, q.model);
+        let queue_ms = q.queue_ms().unwrap_or(if outcome == QueryOutcome::Completed {
+            0.0
+        } else {
+            now - q.arrival_ms
+        });
+        if let Some(t) = telemetry.as_deref_mut() {
+            t.on_retire(q.id, now, service, outcome, now - q.arrival_ms, queue_ms);
+        }
         records.push(QueryRecord {
-            service: service_index(services, q.model),
+            service,
             arrival_ms: q.arrival_ms,
             latency_ms: now - q.arrival_ms,
             qos_ms: q.qos_ms,
             outcome,
             requests: q.input.batch,
-            queue_ms: q.queue_ms().unwrap_or(if outcome == QueryOutcome::Completed {
-                0.0
-            } else {
-                now - q.arrival_ms
-            }),
+            queue_ms,
         });
     }
 
+    let mut round: u64 = 0;
     loop {
         let first_new = next_arrival;
         admit(&mut queue, &mut next_arrival, now);
         if let Some(c) = checker.as_deref_mut() {
             for i in first_new..next_arrival {
                 c.on_issue(i as u64, workload.arrivals[i].at_ms);
+            }
+        }
+        if let Some(t) = telemetry.as_deref_mut() {
+            for i in first_new..next_arrival {
+                let a = workload.arrivals[i];
+                let svc = services[a.service];
+                t.on_arrive(i as u64, a.at_ms, a.service, svc.model, svc.qos_ms);
             }
         }
         // Defensive per-query timeout: bound the sojourn of queries the
@@ -182,6 +220,7 @@ pub fn simulate_node_checked(
                     services,
                     &mut records,
                     &mut checker,
+                    &mut telemetry,
                 );
             }
         }
@@ -196,6 +235,61 @@ pub fn simulate_node_checked(
         }
 
         let decision = scheduler.decide(now, &queue);
+        round += 1;
+        if let Some(t) = telemetry.as_deref_mut() {
+            t.registry.inc(Counter::SchedRounds);
+            // Ledger rows only for rounds that made progress — idle probes
+            // of an unservable queue would otherwise dominate the ledger.
+            if decision.group.is_some() || !decision.dropped.is_empty() {
+                let (entries, predicted_ms, prediction_rounds, headroom) = match &decision.group {
+                    Some(g) => {
+                        let entries: Vec<LedgerEntry> = g
+                            .entries
+                            .iter()
+                            .map(|e| {
+                                let q = queue.iter().find(|q| q.id == e.query_id).unwrap();
+                                LedgerEntry {
+                                    query: e.query_id,
+                                    model: q.model,
+                                    op_start: e.op_start,
+                                    op_end: e.op_end,
+                                }
+                            })
+                            .collect();
+                        let headroom = g
+                            .entries
+                            .iter()
+                            .map(|e| {
+                                let q = queue.iter().find(|q| q.id == e.query_id).unwrap();
+                                q.headroom_ms(now) - decision.overhead_ms
+                            })
+                            .min_by(f64::total_cmp)
+                            .unwrap_or(f64::NAN);
+                        let predicted = if g.predicted_ms > 0.0 {
+                            g.predicted_ms
+                        } else {
+                            f64::NAN
+                        };
+                        (entries, predicted, g.prediction_rounds, headroom)
+                    }
+                    None => (Vec::new(), f64::NAN, 0, f64::NAN),
+                };
+                t.ledger.push(RoundEntry {
+                    round,
+                    at_ms: now,
+                    queue_len: queue.len(),
+                    dropped: decision.dropped.len(),
+                    overhead_ms: decision.overhead_ms,
+                    prediction_rounds,
+                    entries,
+                    predicted_ms,
+                    critical_headroom_ms: headroom,
+                    exec_start_ms: f64::NAN,
+                    actual_ms: f64::NAN,
+                    actual_exec_ms: f64::NAN,
+                });
+            }
+        }
         let retired_any = !decision.dropped.is_empty();
         for id in &decision.dropped {
             match queue.iter().position(|q| q.id == *id) {
@@ -207,6 +301,7 @@ pub fn simulate_node_checked(
                     services,
                     &mut records,
                     &mut checker,
+                    &mut telemetry,
                 ),
                 None => {
                     debug_assert!(false, "scheduler dropped unknown query {id}");
@@ -253,6 +348,7 @@ pub fn simulate_node_checked(
                 services,
                 &mut records,
                 &mut checker,
+                &mut telemetry,
             );
             continue;
         };
@@ -271,10 +367,38 @@ pub fn simulate_node_checked(
             lib,
         );
         let exec_start = now;
+        if let Some(t) = telemetry.as_deref_mut() {
+            for e in &group.entries {
+                t.on_dispatch(e.query_id, exec_start, round, e.op_start, e.op_end);
+            }
+        }
         let out = executor.execute(&spec);
         now += out.duration_ms;
         if let Some(c) = checker.as_deref_mut() {
             c.on_group(exec_start, out.duration_ms, &out.stream_ms);
+        }
+        if let Some(t) = telemetry.as_deref_mut() {
+            // The predictor estimates kernel time (the longest stream), not
+            // the host-side sync/save overheads — join both against the row.
+            let kernel_ms = out.stream_ms.iter().fold(0.0f64, |a, &b| a.max(b));
+            t.ledger.complete_last(round, exec_start, out.duration_ms, kernel_ms);
+            t.registry.inc(Counter::GroupsExecuted);
+            t.registry.add(Counter::PredictionRounds, group.prediction_rounds as u64);
+            t.registry.observe(Hist::SearchRounds, group.prediction_rounds as f64);
+            t.registry.observe(Hist::GroupWays, group.entries.len() as f64);
+            t.registry.observe(Hist::GroupDurationMs, out.duration_ms);
+            t.registry.set(Counter::EngineEvents, executor.engine_events());
+            t.registry.set(Counter::FaultSpikes, executor.fault_spikes());
+            if let Some(w) = t.predictor_ways() {
+                for _ in 0..group.prediction_rounds {
+                    t.registry.observe(Hist::PredictorBatch, w as f64);
+                }
+            }
+            if t.kernel_trace_enabled() {
+                for s in executor.kernel_trace() {
+                    t.on_kernel_span(round, exec_start, s);
+                }
+            }
         }
         scheduler.on_group_complete(out.duration_ms);
         for e in &group.entries {
@@ -289,6 +413,7 @@ pub fn simulate_node_checked(
                     services,
                     &mut records,
                     &mut checker,
+                    &mut telemetry,
                 );
             }
         }

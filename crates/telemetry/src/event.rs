@@ -1,0 +1,77 @@
+//! Query-lifecycle events and wall-clock kernel spans.
+//!
+//! One [`QueryEvent`] is appended per lifecycle transition of a query:
+//! admission into the node queue, each dispatch into an operator group, and
+//! the terminal retire (complete / drop / timeout). Events are keyed by the
+//! query id the serving loop assigns (its arrival index), so the stream
+//! joins 1:1 against the run's `QueryRecord`s.
+//!
+//! [`WallKernelSpan`] is a [`gpu_sim::KernelSpan`] rebased from group-local
+//! engine time onto the serving wall clock: the engine restarts at `t = 0`
+//! for every exclusive group, so the executor's spans are shifted by the
+//! group's dispatch instant before being recorded here.
+
+use abacus_metrics::QueryOutcome;
+use dnn_models::ModelId;
+
+/// What happened to a query at one instant of its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryEventKind {
+    /// The query entered the node queue (at its arrival timestamp).
+    Arrived {
+        /// Service index within the co-location set.
+        service: usize,
+        /// The service's model.
+        model: ModelId,
+        /// Latency budget, ms.
+        qos_ms: f64,
+    },
+    /// An operator range of the query was dispatched in a scheduling round.
+    Dispatched {
+        /// Scheduling-round id (joins against the decision ledger).
+        round: u64,
+        /// First operator of the dispatched segment.
+        op_start: usize,
+        /// One past the last operator of the segment.
+        op_end: usize,
+    },
+    /// The query left the system.
+    Retired {
+        /// How it ended.
+        outcome: QueryOutcome,
+        /// End-to-end latency at retire, ms.
+        latency_ms: f64,
+        /// Queueing delay before the first operator ran, ms.
+        queue_ms: f64,
+        /// Service index within the co-location set.
+        service: usize,
+    },
+}
+
+/// One timestamped lifecycle event of one query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryEvent {
+    /// Query id (the serving loop's arrival index).
+    pub query: u64,
+    /// Event timestamp on the serving wall clock, ms.
+    pub at_ms: f64,
+    /// What happened.
+    pub kind: QueryEventKind,
+}
+
+/// One kernel execution interval on the serving wall clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WallKernelSpan {
+    /// Scheduling round whose operator group ran this kernel.
+    pub round: u64,
+    /// Stream index within the group (one stream per participating query).
+    pub stream: usize,
+    /// Kernel index within its stream.
+    pub kernel: usize,
+    /// Execution start on the wall clock, ms.
+    pub start_ms: f64,
+    /// Execution end on the wall clock, ms.
+    pub end_ms: f64,
+    /// The kernel's SM occupancy share in `(0, 1]`.
+    pub occupancy: f64,
+}

@@ -1,0 +1,100 @@
+//! Golden test: the exported Chrome trace JSON is a pure function of the
+//! recorded telemetry. Every byte below is pinned — serialisation drift
+//! (float formatting, field order, escaping) is a breaking change for
+//! downstream trace tooling and must be deliberate.
+
+use abacus_metrics::QueryOutcome;
+use dnn_models::ModelId;
+use gpu_sim::{KernelSpan, StreamId};
+use telemetry::{ChromeTrace, LedgerEntry, RoundEntry, Telemetry};
+
+/// A two-query run: q0 (Res152, svc0) dispatches in round 1 and completes;
+/// q1 (Bert, svc1) is dropped straight from the queue. One kernel span.
+/// All instants are exact binary fractions so float formatting is stable.
+fn fixture() -> Telemetry {
+    let mut t = Telemetry::with_kernel_trace();
+    t.on_arrive(0, 1.5, 0, ModelId::ResNet152, 100.0);
+    t.on_arrive(1, 2.0, 1, ModelId::Bert, 50.0);
+    t.ledger.push(RoundEntry {
+        round: 1,
+        at_ms: 2.5,
+        queue_len: 2,
+        dropped: 0,
+        overhead_ms: 0.25,
+        prediction_rounds: 2,
+        entries: vec![LedgerEntry {
+            query: 0,
+            model: ModelId::ResNet152,
+            op_start: 0,
+            op_end: 4,
+        }],
+        predicted_ms: 8.0,
+        critical_headroom_ms: 50.0,
+        exec_start_ms: f64::NAN,
+        actual_ms: f64::NAN,
+        actual_exec_ms: f64::NAN,
+    });
+    t.on_dispatch(0, 2.75, 1, 0, 4);
+    t.ledger.complete_last(1, 2.75, 8.5, 8.25);
+    t.on_retire(0, 11.25, 0, QueryOutcome::Completed, 9.75, 1.25);
+    t.on_retire(1, 12.0, 1, QueryOutcome::Dropped, 10.0, 10.0);
+    t.on_kernel_span(
+        1,
+        2.75,
+        &KernelSpan {
+            stream: StreamId(0),
+            kernel: 0,
+            start_ms: 0.0,
+            end_ms: 8.25,
+            occupancy: 0.5,
+        },
+    );
+    t
+}
+
+const GOLDEN: &str = r#"{"displayTimeUnit":"ms","traceEvents":[
+{"name":"process_name","ph":"M","pid":1,"args":{"name":"serving node"}},
+{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"svc0 res"}},
+{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"svc1 bert"}},
+{"name":"process_name","ph":"M","pid":2,"args":{"name":"gpu streams"}},
+{"name":"thread_name","ph":"M","pid":2,"tid":0,"args":{"name":"stream 0"}},
+{"name":"queued","cat":"queue","ph":"b","id":0,"ts":1500,"pid":1,"tid":0},
+{"name":"queued","cat":"queue","ph":"b","id":1,"ts":2000,"pid":1,"tid":1},
+{"name":"queued","cat":"queue","ph":"e","id":0,"ts":2750,"pid":1,"tid":0},
+{"name":"Res152[0..4)","cat":"dispatch","ph":"X","ts":2750,"dur":8500,"pid":1,"tid":0,"args":{"query":0,"round":1,"op_start":0,"op_end":4,"predicted_ms":8}},
+{"name":"completed","ph":"i","s":"t","ts":11250,"pid":1,"tid":0,"args":{"query":0,"latency_ms":9.75,"queue_ms":1.25}},
+{"name":"queued","cat":"queue","ph":"e","id":1,"ts":12000,"pid":1,"tid":1},
+{"name":"dropped","ph":"i","s":"t","ts":12000,"pid":1,"tid":1,"args":{"query":1,"latency_ms":10,"queue_ms":10}},
+{"name":"k0","cat":"kernel","ph":"X","ts":2750,"dur":8250,"pid":2,"tid":0,"args":{"round":1,"occupancy":0.5}}
+]}
+"#;
+
+#[test]
+fn exported_trace_json_is_pinned() {
+    let mut trace = ChromeTrace::new();
+    trace.add_telemetry(&fixture(), &["res", "bert"]);
+    let json = trace.to_json();
+    if json != GOLDEN {
+        // Line-by-line diff makes drift reviewable.
+        for (i, (a, b)) in json.lines().zip(GOLDEN.lines()).enumerate() {
+            assert_eq!(a, b, "first divergence on line {}", i + 1);
+        }
+        assert_eq!(json.lines().count(), GOLDEN.lines().count(), "line count");
+        panic!("trace JSON differs from golden but no line diverged");
+    }
+}
+
+#[test]
+fn export_is_deterministic_across_rebuilds() {
+    let a = {
+        let mut tr = ChromeTrace::new();
+        tr.add_telemetry(&fixture(), &["res", "bert"]);
+        tr.to_json()
+    };
+    let b = {
+        let mut tr = ChromeTrace::new();
+        tr.add_telemetry(&fixture(), &["res", "bert"]);
+        tr.to_json()
+    };
+    assert_eq!(a, b);
+}

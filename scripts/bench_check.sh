@@ -3,7 +3,8 @@
 #
 #   * the batched MLP inference microbench (BENCH_search.json)
 #   * the serving substrate: executor groups/sec + fig14 cell wall time
-#     (BENCH_serving.json)
+#     (BENCH_serving.json); its --check also gates the telemetry overhead —
+#     a counters-only Telemetry may cost at most 2% of an Abacus cell
 #   * cold-start offline training: minibatch trainer throughput and the
 #     serial/pooled weight-identity contract (BENCH_train.json)
 #

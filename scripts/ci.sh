@@ -18,6 +18,37 @@ cargo test -q
 echo "== fault suite (incl. ignored long-runners) =="
 cargo test -q -p integration --test fault_properties -- --include-ignored
 
+echo "== telemetry-disabled golden checksum =="
+# The telemetry-instrumented serving loop with no Telemetry attached must
+# stay byte-identical to the pre-telemetry loop — pinned by the no-fault
+# golden trace checksum.
+cargo test -q -p integration --test fault_properties golden_no_fault
+
+echo "== trace export smoke =="
+TRACE_OUT=$(mktemp -d)
+trap 'rm -rf "$TRACE_OUT"' EXIT
+cargo run --release -q -p abacus-cli --bin abacus-repro -- trace --fast --out "$TRACE_OUT" >/dev/null
+python3 -m json.tool "$TRACE_OUT/trace.json" >/dev/null || {
+    echo "trace.json is not valid JSON" >&2
+    exit 1
+}
+for f in ledger.csv pred_error.csv kernel_spans.csv; do
+    [[ -s "$TRACE_OUT/$f" ]] || { echo "trace artifact $f missing/empty" >&2; exit 1; }
+done
+# Determinism contract: the prediction-error sweep emits byte-identical
+# CSVs whether its cells run serially or on the rayon pool.
+TRACE_SERIAL=$(mktemp -d)
+trap 'rm -rf "$TRACE_OUT" "$TRACE_SERIAL"' EXIT
+cargo run --release -q -p abacus-cli --bin abacus-repro -- trace --fast --out "$TRACE_SERIAL" --serial >/dev/null
+cmp "$TRACE_OUT/pred_error.csv" "$TRACE_SERIAL/pred_error.csv" || {
+    echo "telemetry sweep diverged between serial and parallel runs" >&2
+    exit 1
+}
+cmp "$TRACE_OUT/trace.json" "$TRACE_SERIAL/trace.json" || {
+    echo "trace.json diverged between serial and parallel runs" >&2
+    exit 1
+}
+
 echo "== bench gates =="
 scripts/bench_check.sh
 
