@@ -59,8 +59,10 @@ fn run_cells(parallel: bool) -> String {
     let run_one = |&(row, policy): &(usize, PolicyKind)| -> ColocationResult {
         // Pinned prediction-round latency: the default config calibrates
         // it from wall-clock timing, which would differ per run/thread.
-        let mut abacus = abacus_core::AbacusConfig::default();
-        abacus.predict_round_ms = Some(0.09);
+        let abacus = abacus_core::AbacusConfig {
+            predict_round_ms: Some(0.09),
+            ..Default::default()
+        };
         let cfg = ColocationConfig {
             qps_per_service: 25.0,
             horizon_ms: 800.0,

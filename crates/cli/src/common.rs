@@ -216,12 +216,18 @@ pub fn as_model(mlp: &Arc<Mlp>) -> Arc<dyn LatencyModel> {
 /// Map `f` over experiment cells, fanned out over threads when
 /// `parallel` — output order always matches input order, and because every
 /// cell derives its own seed, the results are identical either way.
+///
+/// `--parallel` is downgraded to the plain serial loop when fanning out
+/// cannot help ([`rayon::worth_fanning_out`]): a single-core host, or
+/// fewer than two cells. The fan-out machinery degrades to a serial loop
+/// in those cases anyway, so this only removes its overhead — results are
+/// identical by construction (see DESIGN.md §7).
 pub fn map_cells<T: Sync, R: Send>(
     parallel: bool,
     items: &[T],
     f: impl Fn(&T) -> R + Sync,
 ) -> Vec<R> {
-    if parallel {
+    if parallel && rayon::worth_fanning_out(items.len()) {
         use rayon::prelude::*;
         items.par_iter().map(f).collect()
     } else {

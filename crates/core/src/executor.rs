@@ -60,6 +60,10 @@ pub struct SegmentalExecutor {
     events: u64,
     /// Cumulative fault-spike activations across executed groups.
     fault_spikes: u64,
+    /// Element-wise peaks of the engine's per-group core stats
+    /// ([`gpu_sim::EngineCoreStats`]) across executed groups — the
+    /// engine's own peaks reset with it every group.
+    core_stats: gpu_sim::EngineCoreStats,
     /// Reused completion buffer for [`Engine::completions_into`].
     completions: Vec<StreamCompletion>,
 }
@@ -75,6 +79,7 @@ impl SegmentalExecutor {
             busy_ms: 0.0,
             events: 0,
             fault_spikes: 0,
+            core_stats: gpu_sim::EngineCoreStats::default(),
             completions: Vec::new(),
         }
     }
@@ -99,6 +104,13 @@ impl SegmentalExecutor {
     /// Cumulative fault-spike activations across all executed groups.
     pub fn fault_spikes(&self) -> u64 {
         self.fault_spikes
+    }
+
+    /// Element-wise peaks of the engine core's health stats (deepest
+    /// running set, deepest arrival backlog, fullest calendar bucket)
+    /// across all executed groups.
+    pub fn engine_core_stats(&self) -> gpu_sim::EngineCoreStats {
+        self.core_stats
     }
 
     /// Record each group's per-kernel execution spans (engine-local time;
@@ -158,6 +170,7 @@ impl SegmentalExecutor {
         self.busy_ms += total_ms;
         self.events += self.engine.events();
         self.fault_spikes += self.engine.fault_spikes();
+        self.core_stats.merge_peaks(&self.engine.core_stats());
         // Save/restore bookkeeping for partial queries.
         let mut overhead = GROUP_SYNC_MS;
         let mut saved_bytes = 0.0;

@@ -124,15 +124,40 @@ pub fn co_run_slowdowns_summed(u_c: f64, u_m: f64, set: &[RunningKernel], out: &
     let over_c = u_c.max(1.0);
     let over_m = u_m.max(1.0);
     for k in set {
-        if k.exec_ms <= 0.0 {
-            // Pure-launch kernel: nothing to contend for.
-            out.push(1.0);
-            continue;
-        }
-        let contended = (k.t_compute_ms * over_c).max(k.t_memory_ms * over_m);
-        let interference = 1.0 + INTERFERENCE_GAMMA * (u_m - k.memory_share).max(0.0);
-        out.push((contended / k.exec_ms) * interference);
+        out.push(slowdown_one(
+            u_m,
+            over_c,
+            over_m,
+            k.t_compute_ms,
+            k.t_memory_ms,
+            k.memory_share,
+            k.exec_ms,
+        ));
     }
+}
+
+/// Slowdown of one kernel given precomputed `over_c = U_c.max(1)` and
+/// `over_m = U_m.max(1)`. The scalar core shared by
+/// [`co_run_slowdowns_summed`], the engine's per-kernel stale refresh and
+/// the remainder lanes of the SIMD tiers ([`crate::simd`]) — one
+/// definition, so every path is bit-identical by construction.
+#[inline]
+pub(crate) fn slowdown_one(
+    u_m: f64,
+    over_c: f64,
+    over_m: f64,
+    t_compute_ms: f64,
+    t_memory_ms: f64,
+    memory_share: f64,
+    exec_ms: f64,
+) -> f64 {
+    if exec_ms <= 0.0 {
+        // Pure-launch kernel: nothing to contend for.
+        return 1.0;
+    }
+    let contended = (t_compute_ms * over_c).max(t_memory_ms * over_m);
+    let interference = 1.0 + INTERFERENCE_GAMMA * (u_m - memory_share).max(0.0);
+    (contended / exec_ms) * interference
 }
 
 #[cfg(test)]

@@ -17,12 +17,30 @@
 //! * **Free overlap (MPS)**: streams are added with arbitrary start times
 //!   and [`Engine::step`] yields completions one at a time so a caller can
 //!   chain queries dynamically — how the Fig. 3 motivation experiment runs.
+//!
+//! # Event-core layout
+//!
+//! The per-event hot loop runs over struct-of-arrays state: the in-flight
+//! set is `active[pos]` (stream slots) with parallel `f64` arrays for
+//! remaining solo time, kernel start stamps, the contention-profile fields
+//! and the current slowdowns. The three per-event passes — slowdown
+//! evaluation, completion-horizon scan and time decrement — stream through
+//! those arrays with runtime-dispatched SIMD ([`crate::simd`]); slowdowns
+//! are refreshed *incrementally*: a full vector recompute only when the
+//! aggregate utilisations `U_c`/`U_m` changed bits, otherwise only entries
+//! whose own kernel changed. Pending arrivals wait in a calendar queue
+//! with a sorted-`Vec` fallback ([`crate::pqueue`]). All of it is
+//! bit-identical to the scalar reference engine pinned by
+//! `tests/golden_engine.rs` — decrement order, tie-breaking and RNG draw
+//! order are part of the contract (see DESIGN.md §11).
 
-use crate::contention::{co_run_slowdowns_summed, RunningKernel};
+use crate::contention::{slowdown_one, RunningKernel};
 use crate::faults::{KernelFaultSpec, KernelFaultState};
 use crate::gpu::GpuSpec;
 use crate::kernel::KernelDesc;
 use crate::noise::NoiseModel;
+use crate::pqueue::PendingQueue;
+use crate::simd::SimdTier;
 use workload::SeededRng;
 
 /// Upper bound on retired kernel buffers kept for reuse (see
@@ -30,6 +48,20 @@ use workload::SeededRng;
 /// capacity, and the steady state of a reset-per-group or recycling
 /// workload cycles through a handful.
 const SPARE_POOL_CAP: usize = 64;
+
+/// Slack when testing whether a pending stream's start time has been
+/// reached: a start within this of the current instant activates *now*,
+/// absorbing float round-off from the closed-form time accumulation. An
+/// empty stream caught by the slack is stamped complete at the (at most
+/// a picosecond earlier) event time.
+pub const ACTIVATION_SLACK_MS: f64 = 1e-12;
+
+/// A running kernel whose remaining solo time has drained to at most this
+/// is retired at the current event rather than surviving to a degenerate
+/// follow-up event: ties in the completion scan (and near-ties from
+/// round-off in the decrement) resolve to a single event. One nanosecond
+/// of solo time — far below the launch overhead of any real kernel.
+pub const RETIRE_EPSILON_MS: f64 = 1e-9;
 
 /// Identifier of a stream within one [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -63,16 +95,39 @@ impl GroupResult {
     }
 }
 
+/// Health counters of the event core since the last reset — cheap to read,
+/// free to maintain, surfaced through the telemetry registry so bench
+/// regressions are diagnosable from the ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCoreStats {
+    /// Peak number of kernels simultaneously in flight.
+    pub max_active: usize,
+    /// Peak pending-arrival backlog.
+    pub pending_peak: usize,
+    /// Calendar-queue bucket count (0 while on the sorted-`Vec` path).
+    pub calendar_buckets: usize,
+    /// Peak single-bucket occupancy (0 while on the sorted-`Vec` path).
+    pub calendar_peak_bucket: usize,
+}
+
+impl EngineCoreStats {
+    /// Fold `other` into `self`, keeping the element-wise maximum — how a
+    /// caller that resets the engine per run (the segmental executor)
+    /// accumulates lifetime peaks across the per-run resets.
+    pub fn merge_peaks(&mut self, other: &EngineCoreStats) {
+        self.max_active = self.max_active.max(other.max_active);
+        self.pending_peak = self.pending_peak.max(other.pending_peak);
+        self.calendar_buckets = self.calendar_buckets.max(other.calendar_buckets);
+        self.calendar_peak_bucket = self.calendar_peak_bucket.max(other.calendar_peak_bucket);
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Stream {
     kernels: Vec<KernelDesc>,
     next: usize,
     start_ms: f64,
     end_ms: Option<f64>,
-    /// Remaining noisy solo-time of the current kernel, ms.
-    remaining_ms: f64,
-    /// When the current kernel started executing (trace only).
-    kernel_started_ms: f64,
 }
 
 /// One kernel's execution interval, recorded when tracing is enabled.
@@ -99,19 +154,43 @@ pub struct Engine {
     session_factor: f64,
     time_ms: f64,
     streams: Vec<Stream>,
-    /// Stream indices not yet started, sorted by start time descending so
-    /// the soonest is at the back.
-    pending: Vec<usize>,
-    /// Scratch: indices of streams with a kernel in flight.
+    /// Streams not yet started (calendar queue / sorted-`Vec` hybrid).
+    pending: PendingQueue,
+    /// Stream slots with a kernel in flight. The arrays below are SoA
+    /// state parallel to it, maintained in lockstep (push on kernel
+    /// start, `swap_remove` on retire).
     active: Vec<usize>,
-    /// Scratch: contention profiles, parallel to `active`.
-    profiles: Vec<RunningKernel>,
-    /// Scratch: slowdowns, parallel to `active`.
+    /// Remaining noisy solo-time of each running kernel, ms.
+    remaining: Vec<f64>,
+    /// When each running kernel started executing (trace only).
+    started: Vec<f64>,
+    /// Contention profile, split per field: compute-limited time.
+    k_t_compute: Vec<f64>,
+    /// Memory-limited time.
+    k_t_memory: Vec<f64>,
+    /// Compute share (enters `U_c`).
+    k_c_share: Vec<f64>,
+    /// Memory share (enters `U_m` and the interference term).
+    k_m_share: Vec<f64>,
+    /// Solo execution time (max of the rooflines).
+    k_exec: Vec<f64>,
+    /// Current slowdown of each running kernel.
     slowdowns: Vec<f64>,
-    /// Incremental Σ compute_share over `profiles`. Shares are quantised
-    /// (see [`crate::contention`]), so this equals re-summing bit for bit.
+    /// Entries of `slowdowns` not yet computed for the current set.
+    stale: Vec<bool>,
+    /// Whether any `stale` flag is set (cheap gate on the scan).
+    any_stale: bool,
+    /// Whether `slowdowns`/`last_u_*` hold values at all (false right
+    /// after construction/reset).
+    slow_valid: bool,
+    /// Aggregates the non-stale `slowdowns` entries were computed under.
+    last_u_c: f64,
+    last_u_m: f64,
+    /// Incremental Σ compute_share over the running set. Shares are
+    /// quantised (see [`crate::contention`]), so this equals re-summing
+    /// bit for bit.
     u_c: f64,
-    /// Incremental Σ memory_share over `profiles`.
+    /// Incremental Σ memory_share over the running set.
     u_m: f64,
     /// Retired stream slots available for reuse (slot recycling only).
     free_slots: Vec<usize>,
@@ -125,6 +204,8 @@ pub struct Engine {
     /// Fault spike activations (kernels whose duration was actually
     /// perturbed) since the last reset.
     fault_spikes: u64,
+    /// Peak size of `active` since the last reset.
+    max_active: usize,
     /// Per-kernel execution spans; populated only when tracing is on.
     trace: Option<Vec<KernelSpan>>,
     /// Seed of the current run (recorded so a fault spec installed
@@ -133,6 +214,8 @@ pub struct Engine {
     /// Deterministic kernel latency-spike injection; `None` (the default)
     /// leaves the hot path untouched.
     faults: Option<KernelFaultState>,
+    /// SIMD tier for the hot-loop kernels, detected once at construction.
+    simd: SimdTier,
 }
 
 impl Engine {
@@ -148,10 +231,21 @@ impl Engine {
             session_factor,
             time_ms: 0.0,
             streams: Vec::new(),
-            pending: Vec::new(),
+            pending: PendingQueue::default(),
             active: Vec::new(),
-            profiles: Vec::new(),
+            remaining: Vec::new(),
+            started: Vec::new(),
+            k_t_compute: Vec::new(),
+            k_t_memory: Vec::new(),
+            k_c_share: Vec::new(),
+            k_m_share: Vec::new(),
+            k_exec: Vec::new(),
             slowdowns: Vec::new(),
+            stale: Vec::new(),
+            any_stale: false,
+            slow_valid: false,
+            last_u_c: 0.0,
+            last_u_m: 0.0,
             u_c: 0.0,
             u_m: 0.0,
             free_slots: Vec::new(),
@@ -159,9 +253,11 @@ impl Engine {
             recycle: false,
             events: 0,
             fault_spikes: 0,
+            max_active: 0,
             trace: None,
             run_seed: seed,
             faults: None,
+            simd: SimdTier::detect(),
         }
     }
 
@@ -181,6 +277,7 @@ impl Engine {
         self.time_ms = 0.0;
         self.events = 0;
         self.fault_spikes = 0;
+        self.max_active = 0;
         for s in &mut self.streams {
             let buf = std::mem::take(&mut s.kernels);
             if buf.capacity() > 0 && self.spare_kernels.len() < SPARE_POOL_CAP {
@@ -190,8 +287,19 @@ impl Engine {
         self.streams.clear();
         self.pending.clear();
         self.active.clear();
-        self.profiles.clear();
+        self.remaining.clear();
+        self.started.clear();
+        self.k_t_compute.clear();
+        self.k_t_memory.clear();
+        self.k_c_share.clear();
+        self.k_m_share.clear();
+        self.k_exec.clear();
         self.slowdowns.clear();
+        self.stale.clear();
+        self.any_stale = false;
+        self.slow_valid = false;
+        self.last_u_c = 0.0;
+        self.last_u_m = 0.0;
         self.free_slots.clear();
         self.u_c = 0.0;
         self.u_m = 0.0;
@@ -275,6 +383,17 @@ impl Engine {
         self.fault_spikes
     }
 
+    /// Event-core health counters since the last reset.
+    pub fn core_stats(&self) -> EngineCoreStats {
+        let (calendar_buckets, calendar_peak_bucket) = self.pending.calendar_stats();
+        EngineCoreStats {
+            max_active: self.max_active,
+            pending_peak: self.pending.peak_len(),
+            calendar_buckets,
+            calendar_peak_bucket,
+        }
+    }
+
     /// The GPU this engine simulates.
     pub fn gpu(&self) -> &GpuSpec {
         &self.gpu
@@ -289,8 +408,6 @@ impl Engine {
             next: 0,
             start_ms,
             end_ms: None,
-            remaining_ms: 0.0,
-            kernel_started_ms: 0.0,
         };
         let id = match self.free_slots.pop() {
             Some(slot) => {
@@ -302,15 +419,7 @@ impl Engine {
                 self.streams.len() - 1
             }
         };
-        // `pending` is kept sorted by start time descending (soonest at the
-        // back, O(1) pop). Binary-insert *after* any equal start times: the
-        // previous push + stable sort left the newest arrival nearest the
-        // back among ties, i.e. activating first — tie order decides the
-        // order noise factors are drawn in, so it must be preserved.
-        let at = self
-            .pending
-            .partition_point(|&i| self.streams[i].start_ms >= start_ms);
-        self.pending.insert(at, id);
+        self.pending.push(start_ms, id);
         StreamId(id)
     }
 
@@ -332,8 +441,8 @@ impl Engine {
 
     /// Start pending streams whose start time has been reached.
     fn activate_due_streams(&mut self) {
-        while let Some(&idx) = self.pending.last() {
-            if self.streams[idx].start_ms > self.time_ms + 1e-12 {
+        while let Some((start_ms, idx)) = self.pending.peek() {
+            if start_ms > self.time_ms + ACTIVATION_SLACK_MS {
                 break;
             }
             self.pending.pop();
@@ -382,27 +491,102 @@ impl Engine {
                 // Degenerate zero-cost kernel: complete instantly.
                 continue;
             }
-            self.streams[idx].remaining_ms = dur;
-            self.streams[idx].kernel_started_ms = self.time_ms;
             self.active.push(idx);
+            self.remaining.push(dur);
+            self.started.push(self.time_ms);
+            self.k_t_compute.push(profile.t_compute_ms);
+            self.k_t_memory.push(profile.t_memory_ms);
+            self.k_c_share.push(profile.compute_share);
+            self.k_m_share.push(profile.memory_share);
+            self.k_exec.push(profile.exec_ms);
+            // Placeholder slowdown; `refresh_slowdowns` fills it before
+            // any dt-scan or decrement reads it.
+            self.slowdowns.push(1.0);
+            self.stale.push(true);
+            self.any_stale = true;
             self.u_c += profile.compute_share;
             self.u_m += profile.memory_share;
-            self.profiles.push(profile);
+            if self.active.len() > self.max_active {
+                self.max_active = self.active.len();
+            }
             return;
         }
     }
 
+    /// Drop position `pos` from the running set, keeping every SoA array
+    /// in lockstep (identical `swap_remove` order is part of the
+    /// determinism contract — it fixes which entry the retire sweep
+    /// rescans).
     fn remove_active(&mut self, pos: usize) {
-        let profile = self.profiles[pos];
-        self.u_c -= profile.compute_share;
-        self.u_m -= profile.memory_share;
+        self.u_c -= self.k_c_share[pos];
+        self.u_m -= self.k_m_share[pos];
         self.active.swap_remove(pos);
-        self.profiles.swap_remove(pos);
-        if self.profiles.is_empty() {
+        self.remaining.swap_remove(pos);
+        self.started.swap_remove(pos);
+        self.k_t_compute.swap_remove(pos);
+        self.k_t_memory.swap_remove(pos);
+        self.k_c_share.swap_remove(pos);
+        self.k_m_share.swap_remove(pos);
+        self.k_exec.swap_remove(pos);
+        // The tail entry's slowdown/staleness travel with it, so moved
+        // entries keep valid values without recompute.
+        self.slowdowns.swap_remove(pos);
+        self.stale.swap_remove(pos);
+        if self.active.is_empty() {
             // Exact share arithmetic already lands on zero; snapping guards
             // the sign of zero and keeps the invariant self-evident.
             self.u_c = 0.0;
             self.u_m = 0.0;
+        }
+    }
+
+    /// Bring `slowdowns` up to date with the running set.
+    ///
+    /// Slowdowns depend on a kernel's own profile and the aggregates
+    /// `(U_c, U_m)` only. Share arithmetic is exact (quantised grid), so
+    /// comparing the aggregates *by bits* is a sound change detector:
+    /// bits unchanged ⇒ every non-stale entry's inputs are unchanged ⇒
+    /// its cached slowdown is the exact value a full recompute would
+    /// produce. Only entries pushed since the last refresh (`stale`) are
+    /// evaluated then; a bit-level change triggers one vectorised
+    /// recompute of the whole set.
+    fn refresh_slowdowns(&mut self) {
+        let u_changed = !self.slow_valid
+            || self.u_c.to_bits() != self.last_u_c.to_bits()
+            || self.u_m.to_bits() != self.last_u_m.to_bits();
+        if u_changed {
+            self.simd.slowdowns(
+                self.u_c,
+                self.u_m,
+                &self.k_t_compute,
+                &self.k_t_memory,
+                &self.k_m_share,
+                &self.k_exec,
+                &mut self.slowdowns,
+            );
+            self.stale.iter_mut().for_each(|s| *s = false);
+            self.any_stale = false;
+            self.last_u_c = self.u_c;
+            self.last_u_m = self.u_m;
+            self.slow_valid = true;
+        } else if self.any_stale {
+            let over_c = self.u_c.max(1.0);
+            let over_m = self.u_m.max(1.0);
+            for pos in 0..self.slowdowns.len() {
+                if self.stale[pos] {
+                    self.slowdowns[pos] = slowdown_one(
+                        self.u_m,
+                        over_c,
+                        over_m,
+                        self.k_t_compute[pos],
+                        self.k_t_memory[pos],
+                        self.k_m_share[pos],
+                        self.k_exec[pos],
+                    );
+                    self.stale[pos] = false;
+                }
+            }
+            self.any_stale = false;
         }
     }
 
@@ -413,22 +597,16 @@ impl Engine {
             self.activate_due_streams();
             if self.active.is_empty() {
                 // Jump to the next pending start, if any.
-                let &idx = self.pending.last()?;
-                self.time_ms = self.streams[idx].start_ms;
+                let (start_ms, _) = self.pending.peek()?;
+                self.time_ms = start_ms;
                 continue;
             }
-            co_run_slowdowns_summed(self.u_c, self.u_m, &self.profiles, &mut self.slowdowns);
+            self.refresh_slowdowns();
             // Time until the first kernel in flight completes.
-            let mut dt = f64::INFINITY;
-            for (pos, &idx) in self.active.iter().enumerate() {
-                let t = self.streams[idx].remaining_ms * self.slowdowns[pos];
-                if t < dt {
-                    dt = t;
-                }
-            }
+            let dt = self.simd.min_completion(&self.remaining, &self.slowdowns);
             // A pending start may preempt the completion horizon.
-            if let Some(&idx) = self.pending.last() {
-                let until_start = self.streams[idx].start_ms - self.time_ms;
+            if let Some((start_ms, _)) = self.pending.peek() {
+                let until_start = start_ms - self.time_ms;
                 if until_start < dt {
                     // Advance everyone to the start instant, then loop to
                     // activate and re-derive rates.
@@ -442,7 +620,8 @@ impl Engine {
             let mut pos = 0;
             while pos < self.active.len() {
                 let idx = self.active[pos];
-                if self.streams[idx].remaining_ms <= 1e-9 {
+                if self.remaining[pos] <= RETIRE_EPSILON_MS {
+                    let started_ms = self.started[pos];
                     self.remove_active(pos);
                     self.events += 1;
                     if let Some(trace) = &mut self.trace {
@@ -450,7 +629,7 @@ impl Engine {
                         trace.push(KernelSpan {
                             stream: StreamId(idx),
                             kernel: s.next - 1,
-                            start_ms: s.kernel_started_ms,
+                            start_ms: started_ms,
                             end_ms: self.time_ms,
                             occupancy: s.kernels[s.next - 1].occupancy(&self.gpu),
                         });
@@ -483,13 +662,7 @@ impl Engine {
             return;
         }
         self.time_ms += dt;
-        for (pos, &idx) in self.active.iter().enumerate() {
-            let s = self.slowdowns[pos];
-            self.streams[idx].remaining_ms -= dt / s;
-            if self.streams[idx].remaining_ms < 0.0 {
-                self.streams[idx].remaining_ms = 0.0;
-            }
-        }
+        self.simd.decrement(&mut self.remaining, &self.slowdowns, dt);
     }
 
     /// Run every stream to completion.
@@ -562,6 +735,16 @@ mod tests {
     fn big_kernel() -> KernelDesc {
         // Saturating, compute-bound.
         KernelDesc::new(2e10, 1e7, 4.0 * gpu().block_slots())
+    }
+
+    /// A launch-only kernel with an exact, contention-free duration.
+    fn launch_only(launch_ms: f64) -> KernelDesc {
+        KernelDesc {
+            flops: 0.0,
+            bytes: 0.0,
+            blocks: 1.0,
+            launch_ms,
+        }
     }
 
     #[test]
@@ -667,7 +850,8 @@ mod tests {
     fn mid_run_arrival_slows_running_stream() {
         // Stream A alone vs stream A with B arriving halfway.
         let a = vec![big_kernel(); 4];
-        let solo = crate::run_group(&gpu(), &NoiseModel::disabled(), 0, &[a.clone()]).total_ms;
+        let solo =
+            crate::run_group(&gpu(), &NoiseModel::disabled(), 0, std::slice::from_ref(&a)).total_ms;
         let mut e = Engine::new(gpu(), NoiseModel::disabled(), 0);
         e.add_stream(a.clone(), 0.0);
         e.add_stream(vec![big_kernel(); 4], solo / 2.0);
@@ -729,7 +913,7 @@ mod tests {
         e.run_until_idle();
         let r = e.group_result();
         let dur = r.stream_ms(0);
-        let solo = sequence_solo_ms(&vec![small_kernel(); 2], &gpu());
+        let solo = sequence_solo_ms(&[small_kernel(); 2], &gpu());
         assert!((dur - solo).abs() < 1e-9);
     }
 
@@ -856,7 +1040,8 @@ mod tests {
         // prob = 1 with noise disabled: every kernel is exactly `factor`
         // slower, so a solo stream's duration scales exactly.
         let ks = vec![small_kernel(); 6];
-        let base = crate::run_group(&gpu(), &NoiseModel::disabled(), 0, &[ks.clone()]).total_ms;
+        let base =
+            crate::run_group(&gpu(), &NoiseModel::disabled(), 0, std::slice::from_ref(&ks)).total_ms;
         let mut e = Engine::new(gpu(), NoiseModel::disabled(), 0);
         e.set_kernel_faults(Some(KernelFaultSpec::always(3, 1.0, 2.5)));
         e.add_stream(ks, 0.0);
@@ -934,5 +1119,72 @@ mod tests {
         let expect = k.solo_ms(&gpu()) * session * first_draw;
         let got = r.stream_ms(2);
         assert!((got - expect).abs() < 1e-12, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn activation_slack_boundary() {
+        let d = 1e-3;
+        // A start within ACTIVATION_SLACK_MS of the event at `d` is
+        // activated there: the empty stream completes at the event time,
+        // a hair *before* its own nominal start.
+        let mut e = Engine::new(gpu(), NoiseModel::disabled(), 0);
+        e.add_stream(vec![launch_only(d)], 0.0);
+        e.add_stream(vec![], d + ACTIVATION_SLACK_MS);
+        e.run_until_idle();
+        let r = e.group_result();
+        assert_eq!(r.completions[1].start_ms, d + ACTIVATION_SLACK_MS);
+        assert_eq!(r.completions[1].end_ms, d);
+        // A start just past the slack is not picked up at `d`; the idle
+        // engine jumps to the exact start instead.
+        let mut e = Engine::new(gpu(), NoiseModel::disabled(), 0);
+        e.add_stream(vec![launch_only(d)], 0.0);
+        e.add_stream(vec![], d + 3.0 * ACTIVATION_SLACK_MS);
+        e.run_until_idle();
+        let r = e.group_result();
+        assert_eq!(r.completions[1].end_ms, d + 3.0 * ACTIVATION_SLACK_MS);
+    }
+
+    #[test]
+    fn retire_epsilon_boundary() {
+        let d = 1e-3;
+        // A kernel left with less than RETIRE_EPSILON_MS of solo time
+        // after an event retires *at* that event (near-tie collapse)...
+        let mut e = Engine::new(gpu(), NoiseModel::disabled(), 0);
+        e.add_stream(vec![launch_only(d)], 0.0);
+        e.add_stream(vec![launch_only(d + 0.5 * RETIRE_EPSILON_MS)], 0.0);
+        e.run_until_idle();
+        let r = e.group_result();
+        assert_eq!(r.completions[0].end_ms, d);
+        assert_eq!(r.completions[1].end_ms, d, "near-tie must collapse to one event");
+        // ...while one with more than the epsilon left survives to its own
+        // completion event.
+        let mut e = Engine::new(gpu(), NoiseModel::disabled(), 0);
+        e.add_stream(vec![launch_only(d)], 0.0);
+        e.add_stream(vec![launch_only(d + 2.0 * RETIRE_EPSILON_MS)], 0.0);
+        e.run_until_idle();
+        let r = e.group_result();
+        assert_eq!(r.completions[0].end_ms, d);
+        let want = d + 2.0 * RETIRE_EPSILON_MS;
+        assert!(
+            (r.completions[1].end_ms - want).abs() < 1e-15,
+            "{} vs {want}",
+            r.completions[1].end_ms
+        );
+    }
+
+    #[test]
+    fn core_stats_track_depth_and_backlog() {
+        let mut e = Engine::new(gpu(), NoiseModel::disabled(), 0);
+        assert_eq!(e.core_stats(), EngineCoreStats::default());
+        for i in 0..3 {
+            e.add_stream(vec![small_kernel(); 2], i as f64 * 1e-3);
+        }
+        e.run_until_idle();
+        let stats = e.core_stats();
+        assert_eq!(stats.max_active, 3);
+        assert_eq!(stats.pending_peak, 3);
+        assert_eq!(stats.calendar_buckets, 0, "small backlog stays on the sorted path");
+        e.reset(0);
+        assert_eq!(e.core_stats(), EngineCoreStats::default());
     }
 }

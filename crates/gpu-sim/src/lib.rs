@@ -30,9 +30,14 @@ pub mod faults;
 pub mod gpu;
 pub mod kernel;
 pub mod noise;
+mod pqueue;
+mod simd;
 
 pub use contention::{co_run_slowdowns, RunningKernel};
-pub use engine::{Engine, GroupResult, KernelSpan, StreamCompletion, StreamId};
+pub use engine::{
+    Engine, EngineCoreStats, GroupResult, KernelSpan, StreamCompletion, StreamId,
+    ACTIVATION_SLACK_MS, RETIRE_EPSILON_MS,
+};
 pub use faults::KernelFaultSpec;
 pub use gpu::{GpuSpec, MigProfile};
 pub use kernel::KernelDesc;

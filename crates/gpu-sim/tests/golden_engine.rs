@@ -12,8 +12,10 @@
 //! every completion with `f64::to_bits` pins the refactor to the old
 //! semantics exactly, not approximately.
 
-use gpu_sim::{co_run_slowdowns, Engine, GpuSpec, KernelDesc, NoiseModel, RunningKernel};
-use workload::SeededRng;
+use gpu_sim::{
+    co_run_slowdowns, Engine, GpuSpec, KernelDesc, KernelFaultSpec, NoiseModel, RunningKernel,
+};
+use workload::{fork_seed, SeededRng};
 
 /// The engine as it existed before the hot-path refactor, preserved here
 /// as the golden reference. Mirrors the old code path for path: grown
@@ -40,6 +42,12 @@ mod reference {
         active: Vec<usize>,
         profiles: Vec<RunningKernel>,
         slowdowns: Vec<f64>,
+        /// Spike spec plus its forked draw stream. The engine's
+        /// `KernelFaultState` is crate-private, so the reference
+        /// reimplements the draw protocol: one unconditional `f64` draw
+        /// per kernel launch from a stream forked from
+        /// `(spec seed, run seed)`, window tested on engine-local time.
+        faults: Option<(KernelFaultSpec, SeededRng)>,
     }
 
     impl ReferenceEngine {
@@ -57,7 +65,12 @@ mod reference {
                 active: Vec::new(),
                 profiles: Vec::new(),
                 slowdowns: Vec::new(),
+                faults: None,
             }
+        }
+
+        pub fn set_kernel_faults(&mut self, spec: KernelFaultSpec, run_seed: u64) {
+            self.faults = Some((spec, SeededRng::new(fork_seed(spec.seed, run_seed))));
         }
 
         pub fn now(&self) -> f64 {
@@ -111,7 +124,14 @@ mod reference {
                 }
                 let kernel = self.streams[idx].kernels[next];
                 self.streams[idx].next = next + 1;
-                let dur = self.noisy_solo_ms(&kernel);
+                let mut dur = self.noisy_solo_ms(&kernel);
+                if let Some((spec, rng)) = &mut self.faults {
+                    let u = rng.f64();
+                    let spiked = u < spec.prob
+                        && self.time_ms >= spec.window_start_ms
+                        && self.time_ms < spec.window_end_ms;
+                    dur *= if spiked { spec.factor } else { 1.0 };
+                }
                 if dur <= 0.0 {
                     continue;
                 }
@@ -330,5 +350,145 @@ fn reference_and_optimized_agree_across_seeds() {
             )
         };
         assert_eq!(reference, optimized, "divergence at seed {seed}");
+    }
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Like [`workload`], but wilder: empty streams, launch-only kernels,
+    /// true zero-cost kernels (which draw noise but finish instantly) and
+    /// a denser cluster of equal-start ties.
+    fn random_workload(seed: u64, n: usize, exotic: bool) -> Vec<(f64, Vec<KernelDesc>)> {
+        let gpu = GpuSpec::a100();
+        let shapes = [
+            KernelDesc::new(2e9, 1e7, 0.2 * gpu.block_slots()), // under-occupied compute
+            KernelDesc::new(2e10, 1e7, 4.0 * gpu.block_slots()), // saturating compute
+            KernelDesc::new(1e8, 4e8, 0.5 * gpu.block_slots()), // memory-bound
+            KernelDesc::new(5e8, 5e7, 1.1 * gpu.block_slots()), // mixed, just saturating
+            // Launch-only: contends for nothing, still takes wall time.
+            KernelDesc {
+                flops: 0.0,
+                bytes: 0.0,
+                blocks: 1.0,
+                launch_ms: 0.012,
+            },
+            // True zero-cost kernel: draws its noise factor, then
+            // completes instantly without entering the running set.
+            KernelDesc {
+                flops: 0.0,
+                bytes: 0.0,
+                blocks: 1.0,
+                launch_ms: 0.0,
+            },
+        ];
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let shape_pool = if exotic { shapes.len() } else { 4 };
+        let mut t = 0.0f64;
+        (0..n)
+            .map(|i| {
+                // Every 4th stream shares the previous start time exactly.
+                if i % 4 != 0 {
+                    t += (next() % 1000) as f64 / 900.0;
+                }
+                // Length 0 = empty stream (completes at activation).
+                let len = (next() % 6) as usize;
+                let kernels = (0..len)
+                    .map(|_| shapes[(next() as usize) % shape_pool])
+                    .collect();
+                (t, kernels)
+            })
+            .collect()
+    }
+
+    fn run_reference(
+        work: &[(f64, Vec<KernelDesc>)],
+        noise: &NoiseModel,
+        seed: u64,
+        spec: Option<KernelFaultSpec>,
+    ) -> Vec<(u64, u64)> {
+        use std::cell::RefCell;
+        let mut engine = reference::ReferenceEngine::new(GpuSpec::a100(), noise.clone(), seed);
+        if let Some(spec) = spec {
+            engine.set_kernel_faults(spec, seed);
+        }
+        let e = RefCell::new(engine);
+        drive(
+            work,
+            |k, at| e.borrow_mut().add_stream(k.to_vec(), at),
+            || e.borrow_mut().step(),
+            || e.borrow().now(),
+        )
+    }
+
+    fn run_optimized(
+        work: &[(f64, Vec<KernelDesc>)],
+        noise: &NoiseModel,
+        seed: u64,
+        spec: Option<KernelFaultSpec>,
+    ) -> Vec<(u64, u64)> {
+        use std::cell::RefCell;
+        let mut engine = Engine::new(GpuSpec::a100(), noise.clone(), seed);
+        engine.set_kernel_faults(spec);
+        engine.enable_slot_recycling();
+        let e = RefCell::new(engine);
+        drive(
+            work,
+            |k, at| {
+                e.borrow_mut().add_stream_slice(k, at);
+            },
+            || e.borrow_mut().step().map(|c| (c.start_ms, c.end_ms)),
+            || e.borrow().now(),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Random open-loop workloads — varied stream counts, zero-cost
+        /// kernels, tied starts/completions, with and without noise and
+        /// fault specs — through both engines, compared bit for bit.
+        #[test]
+        fn random_workloads_are_bit_identical(
+            seed in 0u64..(1 << 32),
+            n in 1usize..90,
+            flags in (0u64..2, 0u64..2).prop_map(|(a, b)| (a == 1, b == 1)),
+            fault in proptest::option::of((
+                (0u64..1_000, 0.0f64..=1.0),
+                (0.25f64..4.0, 0.0f64..30.0, 0.0f64..40.0),
+            )),
+        ) {
+            let (exotic, noisy) = flags;
+            let work = random_workload(seed, n, exotic);
+            let noise = if noisy {
+                NoiseModel::calibrated()
+            } else {
+                NoiseModel::disabled()
+            };
+            let spec = fault.map(|((fseed, prob), (factor, w0, wlen))| KernelFaultSpec {
+                seed: fseed,
+                window_start_ms: w0,
+                window_end_ms: w0 + wlen,
+                prob,
+                factor,
+            });
+            let reference = run_reference(&work, &noise, seed, spec);
+            let optimized = run_optimized(&work, &noise, seed, spec);
+            prop_assert_eq!(
+                reference,
+                optimized,
+                "divergence: seed {} n {} exotic {} noisy {} spec {:?}",
+                seed,
+                n,
+                exotic,
+                noisy,
+                spec
+            );
+        }
     }
 }

@@ -389,6 +389,11 @@ pub fn simulate_node_instrumented(
             t.registry.observe(Hist::GroupDurationMs, out.duration_ms);
             t.registry.set(Counter::EngineEvents, executor.engine_events());
             t.registry.set(Counter::FaultSpikes, executor.fault_spikes());
+            let core = executor.engine_core_stats();
+            t.registry.set(Counter::EngineMaxActive, core.max_active as u64);
+            t.registry.set(Counter::EnginePendingPeak, core.pending_peak as u64);
+            t.registry
+                .set(Counter::EngineCalendarPeakBucket, core.calendar_peak_bucket as u64);
             if let Some(w) = t.predictor_ways() {
                 for _ in 0..group.prediction_rounds {
                     t.registry.observe(Hist::PredictorBatch, w as f64);

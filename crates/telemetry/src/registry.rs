@@ -29,11 +29,18 @@ pub enum Counter {
     EngineEvents,
     /// Kernel latency-spike fault activations (cumulative).
     FaultSpikes,
+    /// Deepest simultaneous kernel set seen by the engine core (peak).
+    EngineMaxActive,
+    /// Deepest pending-arrival backlog seen by the engine core (peak).
+    EnginePendingPeak,
+    /// Fullest calendar-queue bucket seen by the engine core (peak; 0 when
+    /// the backlog never left the sorted-Vec regime).
+    EngineCalendarPeakBucket,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 9] = [
+    pub const ALL: [Counter; 12] = [
         Counter::QueriesArrived,
         Counter::QueriesCompleted,
         Counter::QueriesDropped,
@@ -43,6 +50,9 @@ impl Counter {
         Counter::PredictionRounds,
         Counter::EngineEvents,
         Counter::FaultSpikes,
+        Counter::EngineMaxActive,
+        Counter::EnginePendingPeak,
+        Counter::EngineCalendarPeakBucket,
     ];
 
     /// Stable display name.
@@ -57,6 +67,9 @@ impl Counter {
             Counter::PredictionRounds => "prediction_rounds",
             Counter::EngineEvents => "engine_events",
             Counter::FaultSpikes => "fault_spikes",
+            Counter::EngineMaxActive => "engine_max_active",
+            Counter::EnginePendingPeak => "engine_pending_peak",
+            Counter::EngineCalendarPeakBucket => "engine_calendar_peak_bucket",
         }
     }
 }

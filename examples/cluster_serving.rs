@@ -41,7 +41,7 @@ fn main() {
 
     println!("training the V100 quad predictor...");
     let (mlp, _) = train_unified(
-        &[cfg.models.clone()],
+        std::slice::from_ref(&cfg.models),
         &lib,
         &v100,
         &noise,

@@ -18,6 +18,12 @@ cargo test -q
 echo "== fault suite (incl. ignored long-runners) =="
 cargo test -q -p integration --test fault_properties -- --include-ignored
 
+echo "== engine golden + proptest bit-identity =="
+# The optimized event core (SoA + SIMD + calendar queue) must stay
+# bit-identical to the embedded straight-line reference engine, on the
+# pinned fixed-seed workloads and on randomized property workloads.
+cargo test -q -p gpu-sim --test golden_engine
+
 echo "== telemetry-disabled golden checksum =="
 # The telemetry-instrumented serving loop with no Telemetry attached must
 # stay byte-identical to the pre-telemetry loop — pinned by the no-fault

@@ -51,12 +51,6 @@ fn arb_model() -> impl Strategy<Value = ModelId> {
     (0usize..ModelId::ALL.len()).prop_map(ModelId::from_index)
 }
 
-fn arb_input(model: ModelId) -> impl Strategy<Value = QueryInput> {
-    let seqs: Vec<u32> = model.seq_choices().to_vec();
-    (0usize..BATCH_CHOICES.len(), 0usize..seqs.len())
-        .prop_map(move |(b, s)| QueryInput::new(BATCH_CHOICES[b], seqs[s]))
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -81,7 +75,7 @@ proptest! {
     #[test]
     fn corunner_never_speeds_up(a in arb_stream(), b in arb_stream()) {
         let gpu = GpuSpec::a100();
-        let alone = run_group(&gpu, &NoiseModel::disabled(), 0, &[a.clone()]);
+        let alone = run_group(&gpu, &NoiseModel::disabled(), 0, std::slice::from_ref(&a));
         let together = run_group(&gpu, &NoiseModel::disabled(), 0, &[a, b]);
         prop_assert!(together.completions[0].end_ms >= alone.completions[0].end_ms - 1e-9);
     }

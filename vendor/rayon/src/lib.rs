@@ -75,6 +75,17 @@ fn threads_for(len: usize) -> usize {
     cores.min(len).max(1)
 }
 
+/// Would fanning `len` items out over threads actually use more than one
+/// worker? False on single-core hosts and for degenerate (0- or 1-item)
+/// inputs — callers with a cheap serial path (e.g. an experiment driver
+/// deciding whether to build per-thread state) can skip the scoped-thread
+/// machinery entirely when this is false. The `collect` paths below
+/// already degrade to a serial loop in the same cases, so consulting this
+/// helper never changes results, only overhead.
+pub fn worth_fanning_out(len: usize) -> bool {
+    len >= 2 && threads_for(len) > 1
+}
+
 /// Apply `f` to every index of `items` across scoped threads, preserving
 /// input order in the output.
 fn parallel_map_indexed<'a, T: Sync, R: Send>(
@@ -278,6 +289,17 @@ mod tests {
     fn range_into_par_iter() {
         let out: Vec<usize> = (3..10).into_par_iter().map(|i| i * i).collect();
         assert_eq!(out, vec![9, 16, 25, 36, 49, 64, 81]);
+    }
+
+    #[test]
+    fn worth_fanning_out_degenerate_inputs() {
+        // Never worth it for 0 or 1 items, whatever the host.
+        assert!(!crate::worth_fanning_out(0));
+        assert!(!crate::worth_fanning_out(1));
+        // For larger inputs the answer is exactly "more than one core".
+        let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+        assert_eq!(crate::worth_fanning_out(2), cores > 1);
+        assert_eq!(crate::worth_fanning_out(1000), cores > 1);
     }
 
     #[test]
