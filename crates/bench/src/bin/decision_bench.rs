@@ -1,0 +1,637 @@
+//! Perf snapshot of the scheduler decision hot path. Replays fixed-seed
+//! churned queues (admits, drops, partial progress, completions) against
+//! both the current `AbacusScheduler` — incremental `(deadline, id)` order
+//! index plus arena-backed round scratch — and an embedded line-faithful
+//! copy of the pre-overhaul controller (per-round `Vec<&Query>` collect +
+//! headroom sort + fresh search buffers per plan), and emits
+//! `BENCH_decision.json` with decision rounds/sec for each. The two
+//! controllers must agree bit for bit: every run cross-checks a decision
+//! checksum (dropped ids, planned entries, predicted duration, overhead)
+//! before any number is reported.
+//!
+//! Usage:
+//!
+//! ```text
+//! decision_bench [--quick] [--out PATH] [--check BASELINE]
+//! ```
+//!
+//! * `--quick` — fewer rounds (CI smoke; also honoured via the
+//!   `ABACUS_BENCH_QUICK` env var).
+//! * `--out PATH` — where to write the JSON (default `BENCH_decision.json`;
+//!   suppressed in `--check` mode unless given explicitly).
+//! * `--check BASELINE` — compare measured rounds/sec against a committed
+//!   baseline; exit non-zero past 2x regression.
+//!
+//! The predictor is a constant-time synthetic span model (per-slot cost
+//! proportional to the normalised operator span), so what the bench
+//! measures is the decision layer itself — ordering, candidate filtering,
+//! buffer lifecycle, search bookkeeping — not MLP inference time.
+
+use abacus_core::{AbacusConfig, AbacusScheduler, Query, RoundDecision, Scheduler};
+use dnn_models::{ModelId, ModelLibrary, QueryInput};
+use predictor::features::SLOT_WIDTH;
+use predictor::{LatencyModel, MAX_COLOCATED, MODEL_SLOT_BASE};
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A metric fails the `--check` gate past this factor.
+const REGRESSION_FACTOR: f64 = 2.0;
+
+/// Per-round prediction latency pinned for both controllers, ms, so the
+/// Eq. 3 overhead account is bit-identical and independent of the host.
+const PREDICT_ROUND_MS: f64 = 0.09;
+
+/// Constant-time synthetic predictor: per-slot cost proportional to the
+/// normalised operator span (the search tests' `SpanModel`). Cheap enough
+/// that the decision-layer mechanics dominate the measurement.
+struct SpanModel;
+
+impl LatencyModel for SpanModel {
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        let mut total: f64 = 0.0;
+        for slot in 0..MAX_COLOCATED {
+            let base = MODEL_SLOT_BASE + slot * SLOT_WIDTH;
+            total += (x[base + 1] - x[base]) * 10.0;
+        }
+        total
+    }
+    // Statically-dispatched batch path (one dyn call per round instead of
+    // one per row). Both controllers share this model, so the override
+    // shifts no cost between them — it only keeps the fixture predictor
+    // from dominating the measured controller overhead.
+    fn predict_into(&self, xs: &[f64], n: usize, out: &mut Vec<f64>) {
+        out.clear();
+        if n == 0 {
+            assert!(xs.is_empty(), "rows supplied but n == 0");
+            return;
+        }
+        assert_eq!(xs.len() % n, 0, "ragged feature matrix");
+        let dim = xs.len() / n;
+        out.extend(xs.chunks_exact(dim).map(|row| self.predict_one(row)));
+    }
+    fn name(&self) -> &'static str {
+        "span"
+    }
+}
+
+/// The pre-overhaul decision path, kept as the measured perf baseline.
+///
+/// A line-faithful port of `AbacusScheduler::decide` AND `plan_group` as
+/// of the pre-overhaul tree: fresh `dropped` vector, `Vec<&Query>` collect
+/// plus headroom `sort_by` and two `retain` passes per round,
+/// `sorted.remove(0)` on each infeasible head, search buffers allocated
+/// per `plan_group` call, and per-entry `lib.graph(...)` lookups inside
+/// candidate encoding (`encode_features`).
+mod baseline {
+    use super::*;
+    use abacus_core::{PlannedEntry, PlannedGroup};
+    use predictor::{encode_features, feature_slot_of, GroupEntry, FEATURE_DIM};
+
+    /// Pre-overhaul search result (same shape the old `plan_group` returned).
+    pub enum SearchResult {
+        Planned(PlannedGroup),
+        Infeasible { prediction_rounds: usize },
+    }
+
+    /// Pre-overhaul per-call search buffers.
+    struct SearchBuffers {
+        entries: Vec<GroupEntry>,
+        features: Vec<f64>,
+        preds: Vec<f64>,
+        probes: Vec<usize>,
+    }
+
+    impl SearchBuffers {
+        fn new(ways: usize) -> Self {
+            let rows = ways.max(MAX_COLOCATED);
+            Self {
+                entries: Vec::with_capacity(MAX_COLOCATED),
+                features: vec![0.0; rows * FEATURE_DIM],
+                preds: Vec::with_capacity(rows),
+                probes: Vec::with_capacity(ways),
+            }
+        }
+    }
+
+    fn full_entry(q: &Query) -> GroupEntry {
+        GroupEntry {
+            model: q.model,
+            op_start: q.next_op,
+            op_end: q.n_ops,
+            input: q.input,
+        }
+    }
+
+    pub fn plan_group(
+        queries: &[&Query],
+        budget_ms: f64,
+        model: &dyn LatencyModel,
+        lib: &ModelLibrary,
+        ways: usize,
+    ) -> SearchResult {
+        assert!(!queries.is_empty(), "need at least one query");
+        assert!(ways >= 1, "need at least one search way");
+        debug_assert!(queries.iter().all(|q| !q.is_complete()));
+        let mut rounds = 0;
+        let mut bufs = SearchBuffers::new(ways);
+
+        let max_full = (queries.len() - 1).min(MAX_COLOCATED - 1);
+        let mut level1 = [0.0f64; MAX_COLOCATED];
+        {
+            let mut next = 0usize; // next candidate index to encode
+            let mut done = 0usize; // candidates already predicted
+            while done <= max_full {
+                let mut rows = 0;
+                while next <= max_full && rows < ways {
+                    bufs.entries.push(full_entry(queries[next]));
+                    encode_features(
+                        &bufs.entries,
+                        lib,
+                        &mut bufs.features[rows * FEATURE_DIM..(rows + 1) * FEATURE_DIM],
+                    );
+                    next += 1;
+                    rows += 1;
+                }
+                rounds += 1;
+                model.predict_into(&bufs.features[..rows * FEATURE_DIM], rows, &mut bufs.preds);
+                level1[done..done + rows].copy_from_slice(&bufs.preds);
+                done += rows;
+            }
+        }
+        if level1[0].is_nan() || budget_ms.is_nan() || level1[0] > budget_ms {
+            return SearchResult::Infeasible {
+                prediction_rounds: rounds,
+            };
+        }
+        let mut best_full = 0;
+        let mut best_pred = level1[0];
+        for (j, &p) in level1.iter().enumerate().take(max_full + 1).skip(1) {
+            if p <= budget_ms {
+                best_full = j;
+                best_pred = p;
+            } else {
+                break;
+            }
+        }
+
+        let mut partial_ops = 0;
+        if best_full < max_full {
+            let next_q = queries[best_full + 1];
+            let rem = next_q.remaining_ops();
+
+            bufs.entries.truncate(best_full + 1);
+            let mut partial = full_entry(next_q);
+            partial.op_end = partial.op_start; // placeholder; patched per probe
+            bufs.entries.push(partial);
+            let template_base = {
+                let (template, rest) = bufs.features.split_at_mut(FEATURE_DIM);
+                encode_features(&bufs.entries, lib, template);
+                for row in rest.chunks_exact_mut(FEATURE_DIM) {
+                    row.copy_from_slice(template);
+                }
+                MODEL_SLOT_BASE + feature_slot_of(&bufs.entries, next_q.model) * SLOT_WIDTH
+            };
+            let n_ops_norm = lib.graph(next_q.model, next_q.input).len() as f64;
+
+            let mut lo = 0usize;
+            let mut hi = rem;
+            let mut lo_pred = best_pred;
+            while hi - lo > 1 {
+                let span = hi - lo;
+                bufs.probes.clear();
+                bufs.probes.extend(
+                    (1..=ways)
+                        .map(|i| lo + (span * i) / (ways + 1))
+                        .filter(|&c| c > lo && c < hi),
+                );
+                bufs.probes.dedup();
+                if bufs.probes.is_empty() {
+                    bufs.probes.push(lo + span / 2);
+                }
+                for (row, &c) in bufs.probes.iter().enumerate() {
+                    bufs.features[row * FEATURE_DIM + template_base + 1] =
+                        (next_q.next_op + c) as f64 / n_ops_norm;
+                }
+                let rows = bufs.probes.len();
+                rounds += 1;
+                model.predict_into(&bufs.features[..rows * FEATURE_DIM], rows, &mut bufs.preds);
+                let mut new_lo = lo;
+                let mut new_lo_pred = lo_pred;
+                let mut new_hi = hi;
+                for (&c, &p) in bufs.probes.iter().zip(&bufs.preds) {
+                    if p <= budget_ms {
+                        if c > new_lo {
+                            new_lo = c;
+                            new_lo_pred = p;
+                        }
+                    } else if c < new_hi {
+                        new_hi = c;
+                    }
+                }
+                if new_lo == lo && new_hi == hi {
+                    break;
+                }
+                lo = new_lo;
+                lo_pred = new_lo_pred;
+                hi = new_hi.max(lo + 1);
+            }
+            partial_ops = lo;
+            best_pred = lo_pred;
+        }
+
+        let mut entries: Vec<PlannedEntry> = queries[..=best_full]
+            .iter()
+            .map(|q| PlannedEntry {
+                query_id: q.id,
+                op_start: q.next_op,
+                op_end: q.n_ops,
+            })
+            .collect();
+        if partial_ops > 0 {
+            let q = queries[best_full + 1];
+            entries.push(PlannedEntry {
+                query_id: q.id,
+                op_start: q.next_op,
+                op_end: q.next_op + partial_ops,
+            });
+        }
+        SearchResult::Planned(PlannedGroup {
+            entries,
+            predicted_ms: best_pred,
+            prediction_rounds: rounds,
+        })
+    }
+
+    pub struct BaselineController {
+        model: Arc<dyn LatencyModel>,
+        lib: Arc<ModelLibrary>,
+        cfg: AbacusConfig,
+        predict_round_ms: f64,
+        hide_window_ms: f64,
+        total_prediction_rounds: u64,
+        total_rounds: u64,
+        last_predicted_ms: Option<f64>,
+    }
+
+    impl BaselineController {
+        pub fn new(model: Arc<dyn LatencyModel>, lib: Arc<ModelLibrary>, cfg: AbacusConfig) -> Self {
+            let predict_round_ms = cfg.predict_round_ms.expect("bench pins the round latency");
+            Self {
+                model,
+                lib,
+                cfg,
+                predict_round_ms,
+                hide_window_ms: 0.0,
+                total_prediction_rounds: 0,
+                total_rounds: 0,
+                last_predicted_ms: None,
+            }
+        }
+
+        pub fn decide(&mut self, now_ms: f64, queue: &[Query]) -> RoundDecision {
+            let mut dropped = Vec::new();
+            // Sort by headroom ascending (Eq. 2); ties by id for determinism.
+            let mut sorted: Vec<&Query> = queue.iter().collect();
+            sorted.sort_by(|a, b| {
+                a.headroom_ms(now_ms)
+                    .total_cmp(&b.headroom_ms(now_ms))
+                    .then(a.id.cmp(&b.id))
+            });
+            // Expired queries can never meet QoS: drop outright.
+            sorted.retain(|q| {
+                if q.headroom_ms(now_ms) < 0.0 {
+                    dropped.push(q.id);
+                    false
+                } else {
+                    true
+                }
+            });
+            // Only the least-headroom query of each model is eligible (§6.1).
+            let mut seen_models = 0u32;
+            sorted.retain(|q| {
+                let bit = 1u32 << q.model.index();
+                if seen_models & bit != 0 {
+                    false
+                } else {
+                    seen_models |= bit;
+                    true
+                }
+            });
+
+            let mut prediction_rounds = 0usize;
+            let mut planned = None;
+            let margin_frac = self.cfg.margin_frac;
+            while !sorted.is_empty() {
+                let budget =
+                    (sorted[0].headroom_ms(now_ms) - self.cfg.margin_ms) / (1.0 + margin_frac);
+                match plan_group(&sorted, budget, self.model.as_ref(), &self.lib, self.cfg.ways) {
+                    SearchResult::Planned(mut p) => {
+                        prediction_rounds += p.prediction_rounds;
+                        p.prediction_rounds = prediction_rounds;
+                        planned = Some(p);
+                        break;
+                    }
+                    SearchResult::Infeasible {
+                        prediction_rounds: r,
+                    } => {
+                        prediction_rounds += r;
+                        dropped.push(sorted[0].id);
+                        sorted.remove(0);
+                    }
+                }
+            }
+
+            self.last_predicted_ms = planned.as_ref().map(|p| p.predicted_ms);
+            self.total_rounds += 1;
+            self.total_prediction_rounds += prediction_rounds as u64;
+            let search_ms =
+                self.cfg.base_overhead_ms + prediction_rounds as f64 * self.predict_round_ms;
+            let overhead_ms = if self.cfg.pipelined {
+                let charged = (search_ms - self.hide_window_ms).max(0.0);
+                self.hide_window_ms = 0.0;
+                charged
+            } else {
+                search_ms
+            };
+
+            RoundDecision {
+                dropped,
+                group: planned,
+                overhead_ms,
+            }
+        }
+
+        pub fn on_group_complete(&mut self, duration_ms: f64) {
+            self.hide_window_ms = duration_ms;
+            self.last_predicted_ms = None;
+        }
+    }
+}
+
+/// The decision-layer surface the driver replays against either controller.
+trait Controller {
+    fn decide_into(&mut self, now_ms: f64, queue: &[Query], out: &mut RoundDecision);
+    fn on_admit(&mut self, _q: &Query) {}
+    fn on_retire(&mut self, _q: &Query) {}
+    fn on_group_complete(&mut self, _duration_ms: f64) {}
+}
+
+/// The optimized path, driven exactly as the serving node drives it:
+/// admit/retire hooks feeding the order index, the decision written in
+/// place so the entry buffer cycles through it.
+struct Optimized(AbacusScheduler);
+
+impl Controller for Optimized {
+    fn decide_into(&mut self, now_ms: f64, queue: &[Query], out: &mut RoundDecision) {
+        Scheduler::decide_into(&mut self.0, now_ms, queue, out);
+    }
+    fn on_admit(&mut self, q: &Query) {
+        Scheduler::on_admit(&mut self.0, q);
+    }
+    fn on_retire(&mut self, q: &Query) {
+        Scheduler::on_retire(&mut self.0, q);
+    }
+    fn on_group_complete(&mut self, duration_ms: f64) {
+        Scheduler::on_group_complete(&mut self.0, duration_ms);
+    }
+}
+
+/// The baseline path, driven exactly as the old node drove it: a fresh
+/// decision returned by value each round, no hooks.
+struct Baseline(baseline::BaselineController);
+
+impl Controller for Baseline {
+    fn decide_into(&mut self, now_ms: f64, queue: &[Query], out: &mut RoundDecision) {
+        *out = self.0.decide(now_ms, queue);
+    }
+    fn on_group_complete(&mut self, duration_ms: f64) {
+        self.0.on_group_complete(duration_ms);
+    }
+}
+
+fn config() -> AbacusConfig {
+    AbacusConfig {
+        predict_round_ms: Some(PREDICT_ROUND_MS),
+        ..AbacusConfig::default()
+    }
+}
+
+fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v.wrapping_mul(0x9E3779B97F4A7C15)).rotate_left(17)
+}
+
+/// Fold one decision into a running checksum (order- and bit-sensitive:
+/// dropped ids, planned entries, predicted duration, rounds, overhead).
+fn fold_decision(mut h: u64, d: &RoundDecision) -> u64 {
+    h = mix(h, d.dropped.len() as u64);
+    for &id in &d.dropped {
+        h = mix(h, id);
+    }
+    h = mix(h, d.overhead_ms.to_bits());
+    match &d.group {
+        Some(g) => {
+            h = mix(h, 1);
+            h = mix(h, g.predicted_ms.to_bits());
+            h = mix(h, g.prediction_rounds as u64);
+            for e in &g.entries {
+                h = mix(h, e.query_id);
+                h = mix(h, e.op_start as u64);
+                h = mix(h, e.op_end as u64);
+            }
+        }
+        None => h = mix(h, 0),
+    }
+    h
+}
+
+struct Measured {
+    rounds: u64,
+    elapsed_s: f64,
+    checksum: u64,
+}
+
+/// Replay `rounds` decision rounds over a churned queue held at
+/// `target_depth`: refill with deterministic admits, apply the decision
+/// (drops, partial progress, completions at the predicted duration), and
+/// fold every decision into the checksum. Byte-identical queue evolution
+/// for any two controllers that emit byte-identical decisions. Only the
+/// `decide_into` calls are timed — the replay harness (admits, position
+/// lookups, progress bookkeeping) is identical for both controllers and
+/// would otherwise dilute the measured difference.
+fn run<C: Controller>(
+    ctrl: &mut C,
+    lib: &ModelLibrary,
+    rounds: u64,
+    target_depth: usize,
+    seed: u64,
+) -> Measured {
+    let mut decide_s = 0.0f64;
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    const QOS_MS: [f64; 4] = [40.0, 60.0, 90.0, 140.0];
+    let mut queue: Vec<Query> = Vec::new();
+    let mut now = 0.0f64;
+    let mut next_id = 0u64;
+    let mut decision = RoundDecision::idle();
+    let mut checksum = 0u64;
+    for _ in 0..rounds {
+        while queue.len() < target_depth {
+            let m = ModelId::ALL[(next() as usize) % ModelId::ALL.len()];
+            let input = QueryInput::new(8, if m.is_nlp() { 16 } else { 1 });
+            let n_ops = lib.graph(m, input).len();
+            let qos = QOS_MS[(next() as usize) % QOS_MS.len()];
+            let q = Query::new(next_id, m, input, now, qos, n_ops);
+            next_id += 1;
+            ctrl.on_admit(&q);
+            queue.push(q);
+        }
+        let t0 = Instant::now();
+        ctrl.decide_into(now, &queue, &mut decision);
+        decide_s += t0.elapsed().as_secs_f64();
+        checksum = fold_decision(checksum, &decision);
+        for &id in &decision.dropped {
+            let pos = queue
+                .iter()
+                .position(|q| q.id == id)
+                .expect("dropped unknown query");
+            ctrl.on_retire(&queue[pos]);
+            queue.swap_remove(pos);
+        }
+        match decision.group.as_ref() {
+            Some(g) => {
+                now += decision.overhead_ms;
+                let duration_ms = g.predicted_ms.max(0.05);
+                for e in &g.entries {
+                    let pos = queue
+                        .iter()
+                        .position(|q| q.id == e.query_id)
+                        .expect("planned unknown query");
+                    queue[pos].mark_started(now);
+                    queue[pos].advance_to(e.op_end);
+                    if queue[pos].is_complete() {
+                        ctrl.on_retire(&queue[pos]);
+                        queue.swap_remove(pos);
+                    }
+                }
+                now += duration_ms;
+                ctrl.on_group_complete(duration_ms);
+            }
+            None => now += decision.overhead_ms + 0.1,
+        }
+    }
+    Measured {
+        rounds,
+        elapsed_s: decide_s,
+        checksum,
+    }
+}
+
+fn run_optimized(lib: &Arc<ModelLibrary>, rounds: u64, depth: usize, seed: u64) -> Measured {
+    let mut c = Optimized(AbacusScheduler::new(Arc::new(SpanModel), lib.clone(), config()));
+    run(&mut c, lib, rounds, depth, seed)
+}
+
+fn run_baseline(lib: &Arc<ModelLibrary>, rounds: u64, depth: usize, seed: u64) -> Measured {
+    let mut c = Baseline(baseline::BaselineController::new(
+        Arc::new(SpanModel),
+        lib.clone(),
+        config(),
+    ));
+    run(&mut c, lib, rounds, depth, seed)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = std::env::var("ABACUS_BENCH_QUICK").is_ok();
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = Some(it.next().expect("--out needs a path").clone()),
+            "--check" => check_path = Some(it.next().expect("--check needs a path").clone()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let rounds: u64 = if quick { 40_000 } else { 400_000 };
+    let depth = 16usize;
+    let seed = 2021u64;
+    let lib = Arc::new(ModelLibrary::new());
+
+    eprintln!("decision workload: {rounds} rounds over a {depth}-deep churned queue...");
+    std::hint::black_box(run_optimized(&lib, 2_000, depth, seed));
+    std::hint::black_box(run_baseline(&lib, 2_000, depth, seed));
+    let opt = run_optimized(&lib, rounds, depth, seed);
+    let base = run_baseline(&lib, rounds, depth, seed);
+    assert_eq!(
+        opt.checksum, base.checksum,
+        "decision streams diverged between baseline and optimized controllers"
+    );
+    let rounds_per_sec = opt.rounds as f64 / opt.elapsed_s;
+    let baseline_rounds_per_sec = base.rounds as f64 / base.elapsed_s;
+    let speedup = rounds_per_sec / baseline_rounds_per_sec;
+    eprintln!(
+        "  decisions: optimized {rounds_per_sec:.0} rounds/s, baseline {baseline_rounds_per_sec:.0} rounds/s ({speedup:.2}x), identical"
+    );
+
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"decision\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"rounds\": {rounds},\n"));
+    s.push_str(&format!("  \"queue_depth\": {depth},\n"));
+    s.push_str(&format!("  \"baseline_rounds_per_sec\": {baseline_rounds_per_sec:.0},\n"));
+    s.push_str(&format!("  \"rounds_per_sec\": {rounds_per_sec:.0},\n"));
+    s.push_str(&format!("  \"speedup\": {speedup:.2},\n"));
+    s.push_str("  \"identical\": true\n");
+    s.push_str("}\n");
+
+    let checking = check_path.is_some();
+    if let Some(path) = out_path.or_else(|| (!checking).then(|| "BENCH_decision.json".to_string()))
+    {
+        let mut f = std::fs::File::create(&path).expect("create output file");
+        f.write_all(s.as_bytes()).expect("write json");
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = check_path {
+        let baseline_json = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let num_after = |key: &str| -> Option<f64> {
+            let at = baseline_json.find(key)? + key.len();
+            let rest = baseline_json[at..].trim_start_matches([':', ' ']);
+            let end = rest
+                .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+                .unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        };
+        let mut failed = false;
+        // rounds/sec: lower is worse. The rate is per-round, so quick-mode
+        // runs compare against full-mode baselines directly.
+        if let Some(base) = num_after("\"rounds_per_sec\"") {
+            let ratio = base / rounds_per_sec;
+            if ratio > REGRESSION_FACTOR {
+                eprintln!(
+                    "REGRESSION: {rounds_per_sec:.0} rounds/sec vs baseline {base:.0} ({ratio:.2}x slower > {REGRESSION_FACTOR}x)"
+                );
+                failed = true;
+            } else {
+                eprintln!("ok: {rounds_per_sec:.0} rounds/sec vs baseline {base:.0} ({ratio:.2}x)");
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("decision bench check passed");
+    }
+}

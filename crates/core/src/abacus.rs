@@ -15,9 +15,11 @@
 //!    nothing on the critical path unless the GPU was idle; the
 //!    non-pipelined ablation charges it every round.
 
+use crate::group::{PlannedEntry, PlannedGroup};
+use crate::order::OrderIndex;
 use crate::query::Query;
-use crate::scheduler::{RoundDecision, Scheduler};
-use crate::search::{plan_group, SearchResult};
+use crate::scheduler::{DecisionStats, RoundDecision, Scheduler};
+use crate::search::{plan_group_core, PlanOutcome, SearchBuffers};
 use dnn_models::ModelLibrary;
 use predictor::{LatencyModel, FEATURE_DIM};
 use std::sync::Arc;
@@ -161,6 +163,43 @@ pub struct AbacusScheduler {
     barren_rounds: u32,
     /// Latched FCFS fallback (see [`AbacusConfig::fcfs_fallback_error`]).
     degraded: bool,
+    /// Incrementally-maintained `(deadline, id)` order over the node queue,
+    /// fed by the [`Scheduler::on_admit`]/[`Scheduler::on_retire`] hooks.
+    order: OrderIndex,
+    /// Arena-backed per-round scratch; see [`DecisionScratch`].
+    scratch: DecisionScratch,
+    /// Cumulative decision-layer health counters.
+    stats: DecisionStats,
+}
+
+/// Round-scoped scratch owned by the scheduler. Every buffer is reused
+/// across rounds, so once capacities reach steady state a `decide_into`
+/// round performs zero heap allocations (pinned by the counting-allocator
+/// test in `tests/decision_alloc.rs`).
+struct DecisionScratch {
+    /// [`OrderIndex::resolve_ranks`] output: rank → queue position.
+    ranks: Vec<usize>,
+    /// Eligible queue positions in round order, after the expiry drop and
+    /// the §6.1 per-model least-headroom head filter.
+    candidates: Vec<usize>,
+    /// Multi-way search working set (entry prefix, feature rows feeding
+    /// `predict_into`, prediction output, probe points).
+    search: SearchBuffers,
+    /// Planned-entry buffer parked here whenever a round plans no group;
+    /// otherwise it travels to the caller inside the decision and comes
+    /// back through `out.group` next round.
+    spare_entries: Vec<PlannedEntry>,
+}
+
+impl DecisionScratch {
+    fn new(ways: usize) -> Self {
+        Self {
+            ranks: Vec::new(),
+            candidates: Vec::new(),
+            search: SearchBuffers::new(ways),
+            spare_entries: Vec::new(),
+        }
+    }
 }
 
 impl AbacusScheduler {
@@ -171,6 +210,7 @@ impl AbacusScheduler {
         let predict_round_ms = cfg
             .predict_round_ms
             .unwrap_or_else(|| calibrate_predict_round_ms(model.as_ref(), cfg.ways));
+        let scratch = DecisionScratch::new(cfg.ways);
         Self {
             model,
             lib,
@@ -184,6 +224,9 @@ impl AbacusScheduler {
             err_samples: 0,
             barren_rounds: 0,
             degraded: false,
+            order: OrderIndex::new(),
+            scratch,
+            stats: DecisionStats::default(),
         }
     }
 
@@ -238,12 +281,19 @@ impl AbacusScheduler {
 
     /// FCFS degradation dispatch: earliest arrival runs alone, no
     /// predictions consulted, the baseline drop mechanism retained.
-    fn decide_degraded(&mut self, now_ms: f64, queue: &[Query]) -> RoundDecision {
-        let mut dropped = Vec::new();
+    /// `entries_buf` is the recycled entry buffer `decide_into` took from
+    /// the caller's decision.
+    fn decide_degraded_into(
+        &mut self,
+        now_ms: f64,
+        queue: &[Query],
+        out: &mut RoundDecision,
+        mut entries_buf: Vec<PlannedEntry>,
+    ) {
         let mut head: Option<&Query> = None;
         for q in queue {
             if q.headroom_ms(now_ms) < 0.0 {
-                dropped.push(q.id);
+                out.dropped.push(q.id);
             } else if head.is_none_or(|h| {
                 q.arrival_ms < h.arrival_ms || (q.arrival_ms == h.arrival_ms && q.id < h.id)
             }) {
@@ -253,79 +303,111 @@ impl AbacusScheduler {
         self.total_rounds += 1;
         // No prediction backs this dispatch; don't feed it to the error EWMA.
         self.last_predicted_ms = None;
-        RoundDecision {
-            dropped,
-            group: head.map(|q| crate::group::PlannedGroup {
-                entries: vec![crate::group::PlannedEntry {
+        out.overhead_ms = self.cfg.base_overhead_ms;
+        match head {
+            Some(q) => {
+                entries_buf.push(PlannedEntry {
                     query_id: q.id,
                     op_start: q.next_op,
                     op_end: q.n_ops,
-                }],
-                predicted_ms: 0.0,
-                prediction_rounds: 0,
-            }),
-            overhead_ms: self.cfg.base_overhead_ms,
+                });
+                out.group = Some(PlannedGroup {
+                    entries: entries_buf,
+                    predicted_ms: 0.0,
+                    prediction_rounds: 0,
+                });
+            }
+            None => self.scratch.spare_entries = entries_buf,
         }
     }
 }
 
 impl Scheduler for AbacusScheduler {
-    fn decide(&mut self, now_ms: f64, queue: &[Query]) -> RoundDecision {
+    fn decide_into(&mut self, now_ms: f64, queue: &[Query], out: &mut RoundDecision) {
+        out.dropped.clear();
+        out.overhead_ms = 0.0;
+        // Recycle the planned-entry buffer: from the caller's previous
+        // decision if it kept one, else from the spare parked here.
+        let mut entries_buf = match out.group.take() {
+            Some(g) => g.entries,
+            None => std::mem::take(&mut self.scratch.spare_entries),
+        };
+        entries_buf.clear();
         if self.degraded {
-            return self.decide_degraded(now_ms, queue);
+            return self.decide_degraded_into(now_ms, queue, out, entries_buf);
         }
-        let mut dropped = Vec::new();
-        // Sort by headroom ascending (Eq. 2); ties by id for determinism.
-        let mut sorted: Vec<&Query> = queue.iter().collect();
-        sorted.sort_by(|a, b| {
-            a.headroom_ms(now_ms)
-                .total_cmp(&b.headroom_ms(now_ms))
-                .then(a.id.cmp(&b.id))
-        });
-        // Expired queries can never meet QoS: drop outright.
-        sorted.retain(|q| {
-            if q.headroom_ms(now_ms) < 0.0 {
-                dropped.push(q.id);
-                false
-            } else {
-                true
-            }
-        });
-        // Each service is a single process handling one query at a time
-        // (§6.1): only the least-headroom query of each model is eligible
-        // this round; later queries of the same service wait behind it.
+        let margin_ms = self.cfg.margin_ms;
+        let margin_frac = self.effective_margin_frac();
+        let ways = self.cfg.ways;
+
+        // Ascending `(deadline, id)` ranks — the same permutation the
+        // former per-round headroom sort produced (the order key is
+        // now-independent; DESIGN.md §12). Incremental when the node drove
+        // the admit/retire hooks; full rebuild otherwise.
+        let DecisionScratch {
+            ranks, candidates, search, ..
+        } = &mut self.scratch;
+        if self.order.resolve_ranks(queue, ranks) {
+            self.stats.incremental_rounds += 1;
+        } else {
+            self.order.rebuild(queue, ranks);
+            self.stats.full_rebuilds += 1;
+        }
+        self.stats.scratch_peak = self.stats.scratch_peak.max(ranks.len());
+
+        // One pass in round order: expired queries can never meet QoS —
+        // drop outright (Eq. 2 test per element, exactly as the former
+        // retain). Then, since each service is a single process handling
+        // one query at a time (§6.1), keep only the least-headroom head of
+        // each model; later queries of the same service wait behind it.
+        candidates.clear();
         let mut seen_models = 0u32;
-        sorted.retain(|q| {
-            let bit = 1u32 << q.model.index();
-            if seen_models & bit != 0 {
-                false
-            } else {
-                seen_models |= bit;
-                true
+        for &pos in ranks.iter() {
+            let q = &queue[pos];
+            if q.headroom_ms(now_ms) < 0.0 {
+                out.dropped.push(q.id);
+                continue;
             }
-        });
+            let bit = 1u32 << q.model.index();
+            if seen_models & bit == 0 {
+                seen_models |= bit;
+                candidates.push(pos);
+            }
+        }
 
         let mut prediction_rounds = 0usize;
-        let mut planned = None;
-        let margin_frac = self.effective_margin_frac();
-        while !sorted.is_empty() {
-            let budget =
-                (sorted[0].headroom_ms(now_ms) - self.cfg.margin_ms) / (1.0 + margin_frac);
-            match plan_group(&sorted, budget, self.model.as_ref(), &self.lib, self.cfg.ways) {
-                SearchResult::Planned(mut p) => {
-                    prediction_rounds += p.prediction_rounds;
-                    p.prediction_rounds = prediction_rounds;
-                    planned = Some(p);
+        let mut planned_pred: Option<f64> = None;
+        let mut start = 0usize;
+        while start < candidates.len() {
+            let cands = &candidates[start..];
+            let head = &queue[cands[0]];
+            let budget = (head.headroom_ms(now_ms) - margin_ms) / (1.0 + margin_frac);
+            match plan_group_core(
+                |i| &queue[cands[i]],
+                cands.len(),
+                budget,
+                self.model.as_ref(),
+                &self.lib,
+                ways,
+                search,
+                &mut entries_buf,
+            ) {
+                PlanOutcome::Planned {
+                    predicted_ms,
+                    prediction_rounds: r,
+                } => {
+                    prediction_rounds += r;
+                    planned_pred = Some(predicted_ms);
                     break;
                 }
-                SearchResult::Infeasible {
+                PlanOutcome::Infeasible {
                     prediction_rounds: r,
                 } => {
                     // §6.2: keeping the head query would violate its QoS and
                     // delay everyone behind it — drop it and retry.
                     prediction_rounds += r;
-                    dropped.push(sorted[0].id);
-                    sorted.remove(0);
+                    out.dropped.push(head.id);
+                    start += 1;
                 }
             }
         }
@@ -333,10 +415,10 @@ impl Scheduler for AbacusScheduler {
         // Track the in-flight prediction for error accounting, and count
         // barren rounds (drops but no plan) — the fallback trigger a
         // totally-failed predictor leaves when no group ever completes.
-        self.last_predicted_ms = planned.as_ref().map(|p| p.predicted_ms);
-        if planned.is_some() {
+        self.last_predicted_ms = planned_pred;
+        if planned_pred.is_some() {
             self.barren_rounds = 0;
-        } else if !dropped.is_empty() {
+        } else if !out.dropped.is_empty() {
             self.barren_rounds += 1;
             if self.cfg.fcfs_fallback_error.is_some()
                 && self.barren_rounds >= FALLBACK_BARREN_ROUNDS
@@ -349,7 +431,7 @@ impl Scheduler for AbacusScheduler {
         self.total_prediction_rounds += prediction_rounds as u64;
         let search_ms =
             self.cfg.base_overhead_ms + prediction_rounds as f64 * self.predict_round_ms;
-        let overhead_ms = if self.cfg.pipelined {
+        out.overhead_ms = if self.cfg.pipelined {
             // The search for this round ran while the previous group was
             // still executing (Fig. 13); only the part that did not fit in
             // that window lands on the critical path.
@@ -359,11 +441,30 @@ impl Scheduler for AbacusScheduler {
         } else {
             search_ms
         };
+        match planned_pred {
+            Some(predicted_ms) => {
+                out.group = Some(PlannedGroup {
+                    entries: entries_buf,
+                    predicted_ms,
+                    prediction_rounds,
+                });
+            }
+            None => self.scratch.spare_entries = entries_buf,
+        }
+    }
 
-        RoundDecision {
-            dropped,
-            group: planned,
-            overhead_ms,
+    fn on_admit(&mut self, q: &Query) {
+        self.order.insert(q);
+    }
+
+    fn on_retire(&mut self, q: &Query) {
+        self.order.remove(q);
+    }
+
+    fn decision_stats(&self) -> DecisionStats {
+        DecisionStats {
+            order_peak_len: self.order.peak_len(),
+            ..self.stats
         }
     }
 

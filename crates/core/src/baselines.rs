@@ -15,6 +15,7 @@ use crate::query::Query;
 use crate::scheduler::{RoundDecision, Scheduler};
 use dnn_models::ModelLibrary;
 use gpu_sim::GpuSpec;
+use std::cmp::Ordering;
 use std::sync::Arc;
 
 /// Latency SJF pays per *queued query* per dispatch to estimate durations
@@ -52,12 +53,21 @@ pub struct BaselineScheduler {
     policy: BaselinePolicy,
     lib: Arc<ModelLibrary>,
     gpu: GpuSpec,
+    /// Planned-entry buffer parked here whenever a round plans no group;
+    /// otherwise it cycles through the caller's decision (same scratch
+    /// lifecycle as the Abacus controller's `DecisionScratch`).
+    spare_entries: Vec<PlannedEntry>,
 }
 
 impl BaselineScheduler {
     /// Create a baseline of the given flavour for `gpu`.
     pub fn new(policy: BaselinePolicy, lib: Arc<ModelLibrary>, gpu: GpuSpec) -> Self {
-        Self { policy, lib, gpu }
+        Self {
+            policy,
+            lib,
+            gpu,
+            spare_entries: Vec::new(),
+        }
     }
 
     /// Estimated remaining solo latency of `q` (profiled solo run, as Nexus
@@ -70,50 +80,62 @@ impl BaselineScheduler {
 }
 
 impl Scheduler for BaselineScheduler {
-    fn decide(&mut self, now_ms: f64, queue: &[Query]) -> RoundDecision {
-        // Query-drop mechanism: anything already past its QoS target goes.
-        let mut dropped = Vec::new();
-        let mut alive: Vec<&Query> = Vec::with_capacity(queue.len());
-        for q in queue {
+    fn decide_into(&mut self, now_ms: f64, queue: &[Query], out: &mut RoundDecision) {
+        out.dropped.clear();
+        out.overhead_ms = 0.0;
+        let mut entries_buf = match out.group.take() {
+            Some(g) => g.entries,
+            None => std::mem::take(&mut self.spare_entries),
+        };
+        entries_buf.clear();
+        // One pass: the query-drop mechanism evicts anything already past
+        // its QoS target, the rest compete on the policy key. The former
+        // per-policy `min_by` comparator never returned `Equal` (the id
+        // tie-break is total over distinct ids), so its minimum is unique
+        // and this strictly-less scan selects the identical query.
+        let mut alive = 0usize;
+        let mut chosen: Option<(f64, u64, usize)> = None;
+        for (pos, q) in queue.iter().enumerate() {
             if q.headroom_ms(now_ms) < 0.0 {
-                dropped.push(q.id);
-            } else {
-                alive.push(q);
+                out.dropped.push(q.id);
+                continue;
+            }
+            alive += 1;
+            let key = match self.policy {
+                BaselinePolicy::Fcfs => q.arrival_ms,
+                BaselinePolicy::Sjf => self.remaining_solo_ms(q),
+                BaselinePolicy::Edf => q.deadline_ms(),
+            };
+            let better = match chosen {
+                None => true,
+                Some((best_key, best_id, _)) => {
+                    key.total_cmp(&best_key).then(q.id.cmp(&best_id)) == Ordering::Less
+                }
+            };
+            if better {
+                chosen = Some((key, q.id, pos));
             }
         }
-        let chosen = match self.policy {
-            BaselinePolicy::Fcfs => alive
-                .iter()
-                .min_by(|a, b| a.arrival_ms.total_cmp(&b.arrival_ms).then(a.id.cmp(&b.id))),
-            BaselinePolicy::Sjf => alive.iter().min_by(|a, b| {
-                self.remaining_solo_ms(a)
-                    .total_cmp(&self.remaining_solo_ms(b))
-                    .then(a.id.cmp(&b.id))
-            }),
-            BaselinePolicy::Edf => alive
-                .iter()
-                .min_by(|a, b| a.deadline_ms().total_cmp(&b.deadline_ms()).then(a.id.cmp(&b.id))),
-        };
-        let group = chosen.map(|q| PlannedGroup {
-            entries: vec![PlannedEntry {
-                query_id: q.id,
-                op_start: q.next_op,
-                op_end: q.n_ops,
-            }],
-            predicted_ms: self.remaining_solo_ms(q),
-            prediction_rounds: usize::from(self.policy == BaselinePolicy::Sjf),
-        });
-        let overhead_ms = if group.is_some() && self.policy == BaselinePolicy::Sjf {
-            // SJF's duration estimation sits on the critical path: one
-            // prediction per queued candidate, every dispatch.
-            alive.len() as f64 * SJF_PREDICT_MS
-        } else {
-            0.0
-        };
-        RoundDecision {
-            dropped,
-            group,
-            overhead_ms,
+        match chosen {
+            Some((_, _, pos)) => {
+                let q = &queue[pos];
+                entries_buf.push(PlannedEntry {
+                    query_id: q.id,
+                    op_start: q.next_op,
+                    op_end: q.n_ops,
+                });
+                out.group = Some(PlannedGroup {
+                    entries: entries_buf,
+                    predicted_ms: self.remaining_solo_ms(q),
+                    prediction_rounds: usize::from(self.policy == BaselinePolicy::Sjf),
+                });
+                if self.policy == BaselinePolicy::Sjf {
+                    // SJF's duration estimation sits on the critical path:
+                    // one prediction per queued candidate, every dispatch.
+                    out.overhead_ms = alive as f64 * SJF_PREDICT_MS;
+                }
+            }
+            None => self.spare_entries = entries_buf,
         }
     }
 

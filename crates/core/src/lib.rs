@@ -22,6 +22,7 @@ pub mod abacus;
 pub mod baselines;
 pub mod executor;
 pub mod group;
+pub mod order;
 pub mod query;
 pub mod scheduler;
 pub mod search;
@@ -32,6 +33,7 @@ pub use abacus::{
 pub use baselines::{BaselinePolicy, BaselineScheduler, SJF_PREDICT_MS};
 pub use executor::{ExecOutcome, SegmentalExecutor, GROUP_SYNC_MS, SAVE_RESTORE_MS};
 pub use group::{PlannedEntry, PlannedGroup};
+pub use order::{order_key, OrderIndex};
 pub use query::Query;
-pub use scheduler::{RoundDecision, Scheduler};
-pub use search::{plan_group, SearchResult};
+pub use scheduler::{DecisionStats, RoundDecision, Scheduler};
+pub use search::{plan_group, plan_group_core, PlanOutcome, SearchBuffers, SearchResult};

@@ -33,15 +33,61 @@ impl RoundDecision {
     }
 }
 
+/// Decision-layer health counters, surfaced through telemetry. Peaks are
+/// high-water marks over the scheduler's lifetime; round counts are
+/// cumulative.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionStats {
+    /// Deepest the incremental order index has ever been.
+    pub order_peak_len: usize,
+    /// Peak per-round scratch footprint (rank slots resolved in one round).
+    pub scratch_peak: usize,
+    /// Rounds served off the incrementally-maintained order.
+    pub incremental_rounds: u64,
+    /// Rounds that fell back to a full order rebuild (admit/retire hooks
+    /// not driven, or an index desync was detected).
+    pub full_rebuilds: u64,
+}
+
 /// A per-GPU scheduling policy.
+///
+/// Implementors must override at least one of [`Scheduler::decide`] /
+/// [`Scheduler::decide_into`]; the defaults delegate to each other.
 pub trait Scheduler: Send {
     /// Decide what to run next. `queue` holds every incomplete, undropped
     /// query; the scheduler must reference queries by id and must not
     /// assume any ordering.
-    fn decide(&mut self, now_ms: f64, queue: &[Query]) -> RoundDecision;
+    fn decide(&mut self, now_ms: f64, queue: &[Query]) -> RoundDecision {
+        let mut out = RoundDecision::idle();
+        self.decide_into(now_ms, queue, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Scheduler::decide`]: write the decision
+    /// into `out`, reusing its buffers. The serving loop keeps one
+    /// `RoundDecision` alive across rounds and the scheduler recycles the
+    /// planned group's entry vector through it, so a steady-state round
+    /// allocates nothing.
+    fn decide_into(&mut self, now_ms: f64, queue: &[Query], out: &mut RoundDecision) {
+        *out = self.decide(now_ms, queue);
+    }
+
+    /// Observe a query entering the node queue (order-maintenance hook;
+    /// optional — a scheduler that never sees it just re-derives order per
+    /// round).
+    fn on_admit(&mut self, _q: &Query) {}
+
+    /// Observe a query leaving the node queue for any reason (completion,
+    /// drop, timeout, eviction), called just before removal.
+    fn on_retire(&mut self, _q: &Query) {}
 
     /// Observe the duration of the group that just finished executing.
     fn on_group_complete(&mut self, _duration_ms: f64) {}
+
+    /// Decision-layer health snapshot (telemetry; default all-zero).
+    fn decision_stats(&self) -> DecisionStats {
+        DecisionStats::default()
+    }
 
     /// Display name (figure labels).
     fn name(&self) -> &'static str;

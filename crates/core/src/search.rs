@@ -23,8 +23,8 @@ use crate::query::Query;
 use dnn_models::ModelLibrary;
 use predictor::features::SLOT_WIDTH;
 use predictor::{
-    encode_features, feature_slot_of, GroupEntry, LatencyModel, FEATURE_DIM, MAX_COLOCATED,
-    MODEL_SLOT_BASE,
+    encode_features_with_ops, feature_slot_of, GroupEntry, LatencyModel, FEATURE_DIM,
+    MAX_COLOCATED, MODEL_SLOT_BASE,
 };
 
 /// Result of one group search.
@@ -39,24 +39,48 @@ pub enum SearchResult {
     },
 }
 
+/// Outcome of one [`plan_group_core`] call. On `Planned` the caller's
+/// entry buffer holds the group's planned entries; on `Infeasible` it is
+/// left empty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanOutcome {
+    /// A feasible group was written into the caller's entry buffer.
+    Planned {
+        /// Predicted duration of the planned group, ms.
+        predicted_ms: f64,
+        /// Prediction rounds spent by this search.
+        prediction_rounds: usize,
+    },
+    /// The head query alone exceeds the budget; it should be dropped.
+    Infeasible {
+        /// Prediction rounds spent discovering this.
+        prediction_rounds: usize,
+    },
+}
+
 /// Reusable buffers for one search: candidate entries, one
 /// `ways × FEATURE_DIM` feature matrix fed straight to
 /// [`LatencyModel::predict_into`], the prediction output, and the level-2
-/// probe points. Allocated once per [`plan_group`] call (capacity bounded
-/// by `ways`), then reused across every prediction round — the per-probe
-/// path allocates nothing.
-struct SearchBuffers {
+/// probe points. A scheduler owns one and reuses it across every round
+/// ([`plan_group_core`]); the one-shot [`plan_group`] wrapper allocates a
+/// fresh set per call. Either way the per-probe path allocates nothing.
+pub struct SearchBuffers {
     entries: Vec<GroupEntry>,
+    /// Per-entry operator counts, parallel to `entries` — each is the
+    /// query's own `n_ops`, so candidate encoding never looks a graph up.
+    ops: Vec<usize>,
     features: Vec<f64>,
     preds: Vec<f64>,
     probes: Vec<usize>,
 }
 
 impl SearchBuffers {
-    fn new(ways: usize) -> Self {
+    /// Buffers sized for an `m = ways` search.
+    pub fn new(ways: usize) -> Self {
         let rows = ways.max(MAX_COLOCATED);
         Self {
             entries: Vec::with_capacity(MAX_COLOCATED),
+            ops: Vec::with_capacity(MAX_COLOCATED),
             features: vec![0.0; rows * FEATURE_DIM],
             preds: Vec::with_capacity(rows),
             probes: Vec::with_capacity(ways),
@@ -74,7 +98,7 @@ fn full_entry(q: &Query) -> GroupEntry {
     }
 }
 
-/// Run the multi-way search.
+/// Run the multi-way search (one-shot wrapper over [`plan_group_core`]).
 ///
 /// `queries` must be sorted by headroom ascending, contain 1 to any number
 /// of incomplete queries with pairwise-distinct models, and `budget_ms` is
@@ -86,18 +110,71 @@ pub fn plan_group(
     lib: &ModelLibrary,
     ways: usize,
 ) -> SearchResult {
-    assert!(!queries.is_empty(), "need at least one query");
-    assert!(ways >= 1, "need at least one search way");
-    debug_assert!(queries.iter().all(|q| !q.is_complete()));
-    let mut rounds = 0;
     let mut bufs = SearchBuffers::new(ways);
+    let mut entries = Vec::new();
+    match plan_group_core(
+        |i| queries[i],
+        queries.len(),
+        budget_ms,
+        model,
+        lib,
+        ways,
+        &mut bufs,
+        &mut entries,
+    ) {
+        PlanOutcome::Planned {
+            predicted_ms,
+            prediction_rounds,
+        } => SearchResult::Planned(PlannedGroup {
+            entries,
+            predicted_ms,
+            prediction_rounds,
+        }),
+        PlanOutcome::Infeasible { prediction_rounds } => {
+            SearchResult::Infeasible { prediction_rounds }
+        }
+    }
+}
+
+/// The multi-way search against caller-owned buffers: probe sequence,
+/// round counts and plans are bit-identical to [`plan_group`], but the
+/// candidate list is accessed through `get(0..n)` (so a scheduler can feed
+/// its order-index ranks without materialising a `Vec<&Query>`) and the
+/// planned entries are written into `entries_out` (cleared first). Nothing
+/// is allocated once `bufs`/`entries_out` have reached steady-state
+/// capacity.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_group_core<'q, F: Fn(usize) -> &'q Query>(
+    get: F,
+    n: usize,
+    budget_ms: f64,
+    model: &dyn LatencyModel,
+    lib: &ModelLibrary,
+    ways: usize,
+    bufs: &mut SearchBuffers,
+    entries_out: &mut Vec<PlannedEntry>,
+) -> PlanOutcome {
+    assert!(n >= 1, "need at least one query");
+    assert!(ways >= 1, "need at least one search way");
+    debug_assert!((0..n).all(|i| !get(i).is_complete()));
+    // Each query's `n_ops` is its instantiated graph's operator count
+    // (`Query::new` contract) — what feature normalisation divides by.
+    debug_assert!((0..n).all(|i| {
+        let q = get(i);
+        q.n_ops == lib.graph(q.model, q.input).len()
+    }));
+    debug_assert!(bufs.features.len() >= ways.max(MAX_COLOCATED) * FEATURE_DIM);
+    entries_out.clear();
+    bufs.entries.clear();
+    bufs.ops.clear();
+    let mut rounds = 0;
 
     // Level 1: head alone, then head + 1 full, + 2 full, ... probed in
     // batches of `ways` (at most MAX_COLOCATED candidates exist). Each
     // candidate j extends candidate j-1 by one full entry; the shared
     // prefix lives in `bufs.entries` and each candidate is encoded into
     // its own row of the feature matrix.
-    let max_full = (queries.len() - 1).min(MAX_COLOCATED - 1);
+    let max_full = (n - 1).min(MAX_COLOCATED - 1);
     let mut level1 = [0.0f64; MAX_COLOCATED];
     {
         let mut next = 0usize; // next candidate index to encode
@@ -105,10 +182,12 @@ pub fn plan_group(
         while done <= max_full {
             let mut rows = 0;
             while next <= max_full && rows < ways {
-                bufs.entries.push(full_entry(queries[next]));
-                encode_features(
+                let q = get(next);
+                bufs.entries.push(full_entry(q));
+                bufs.ops.push(q.n_ops);
+                encode_features_with_ops(
                     &bufs.entries,
-                    lib,
+                    &bufs.ops,
                     &mut bufs.features[rows * FEATURE_DIM..(rows + 1) * FEATURE_DIM],
                 );
                 next += 1;
@@ -124,7 +203,7 @@ pub fn plan_group(
     // broken model) or a NaN budget as infeasible instead of silently
     // planning the head with `predicted_ms = NaN` (`NaN > x` is false).
     if level1[0].is_nan() || budget_ms.is_nan() || level1[0] > budget_ms {
-        return SearchResult::Infeasible {
+        return PlanOutcome::Infeasible {
             prediction_rounds: rounds,
         };
     }
@@ -147,23 +226,25 @@ pub fn plan_group(
     // copy the template and patch the single normalised op_end feature.
     let mut partial_ops = 0;
     if best_full < max_full {
-        let next_q = queries[best_full + 1];
+        let next_q = get(best_full + 1);
         let rem = next_q.remaining_ops();
 
         bufs.entries.truncate(best_full + 1);
+        bufs.ops.truncate(best_full + 1);
         let mut partial = full_entry(next_q);
         partial.op_end = partial.op_start; // placeholder; patched per probe
         bufs.entries.push(partial);
+        bufs.ops.push(next_q.n_ops);
         let template_base = {
             let (template, rest) = bufs.features.split_at_mut(FEATURE_DIM);
-            encode_features(&bufs.entries, lib, template);
+            encode_features_with_ops(&bufs.entries, &bufs.ops, template);
             // Rows 1.. start as copies of the template.
             for row in rest.chunks_exact_mut(FEATURE_DIM) {
                 row.copy_from_slice(template);
             }
             MODEL_SLOT_BASE + feature_slot_of(&bufs.entries, next_q.model) * SLOT_WIDTH
         };
-        let n_ops_norm = lib.graph(next_q.model, next_q.input).len() as f64;
+        let n_ops_norm = next_q.n_ops as f64;
 
         // c = 0 is feasible (it is `best_full`); c = rem is known infeasible.
         let mut lo = 0usize;
@@ -216,27 +297,26 @@ pub fn plan_group(
         best_pred = lo_pred;
     }
 
-    let mut entries: Vec<PlannedEntry> = queries[..=best_full]
-        .iter()
-        .map(|q| PlannedEntry {
+    entries_out.extend((0..=best_full).map(|i| {
+        let q = get(i);
+        PlannedEntry {
             query_id: q.id,
             op_start: q.next_op,
             op_end: q.n_ops,
-        })
-        .collect();
+        }
+    }));
     if partial_ops > 0 {
-        let q = queries[best_full + 1];
-        entries.push(PlannedEntry {
+        let q = get(best_full + 1);
+        entries_out.push(PlannedEntry {
             query_id: q.id,
             op_start: q.next_op,
             op_end: q.next_op + partial_ops,
         });
     }
-    SearchResult::Planned(PlannedGroup {
-        entries,
+    PlanOutcome::Planned {
         predicted_ms: best_pred,
         prediction_rounds: rounds,
-    })
+    }
 }
 
 #[cfg(test)]

@@ -125,6 +125,13 @@ impl EngineCoreStats {
 #[derive(Debug, Clone)]
 struct Stream {
     kernels: Vec<KernelDesc>,
+    /// Precomputed contention profiles parallel to `kernels`, or empty when
+    /// the caller did not supply any ([`Engine::add_stream`]). Profiles are
+    /// a pure function of `(kernel, gpu)`, so a stored profile is
+    /// bit-identical to recomputing it at kernel start — callers that replay
+    /// the same kernel sequences (the segmental executor) precompute once
+    /// and skip the per-start `powf`.
+    profiles: Vec<RunningKernel>,
     next: usize,
     start_ms: f64,
     end_ms: Option<f64>,
@@ -197,6 +204,9 @@ pub struct Engine {
     /// Retired kernel buffers kept to serve [`Engine::add_stream_slice`]
     /// without allocating.
     spare_kernels: Vec<Vec<KernelDesc>>,
+    /// Retired profile buffers, pooled like `spare_kernels` for
+    /// [`Engine::add_stream_slice_profiled`].
+    spare_profiles: Vec<Vec<RunningKernel>>,
     /// When set, retired streams' slots are reused by later arrivals so
     /// long open-loop runs stop growing `streams` unboundedly.
     recycle: bool,
@@ -250,6 +260,7 @@ impl Engine {
             u_m: 0.0,
             free_slots: Vec::new(),
             spare_kernels: Vec::new(),
+            spare_profiles: Vec::new(),
             recycle: false,
             events: 0,
             fault_spikes: 0,
@@ -282,6 +293,10 @@ impl Engine {
             let buf = std::mem::take(&mut s.kernels);
             if buf.capacity() > 0 && self.spare_kernels.len() < SPARE_POOL_CAP {
                 self.spare_kernels.push(buf);
+            }
+            let buf = std::mem::take(&mut s.profiles);
+            if buf.capacity() > 0 && self.spare_profiles.len() < SPARE_POOL_CAP {
+                self.spare_profiles.push(buf);
             }
         }
         self.streams.clear();
@@ -402,9 +417,20 @@ impl Engine {
     /// Add a stream of kernels that may start at `start_ms` (clamped to
     /// now). Empty streams complete instantly at their start time.
     pub fn add_stream(&mut self, kernels: Vec<KernelDesc>, start_ms: f64) -> StreamId {
+        self.add_stream_inner(kernels, Vec::new(), start_ms)
+    }
+
+    fn add_stream_inner(
+        &mut self,
+        kernels: Vec<KernelDesc>,
+        profiles: Vec<RunningKernel>,
+        start_ms: f64,
+    ) -> StreamId {
+        debug_assert!(profiles.is_empty() || profiles.len() == kernels.len());
         let start_ms = start_ms.max(self.time_ms);
         let stream = Stream {
             kernels,
+            profiles,
             next: 0,
             start_ms,
             end_ms: None,
@@ -431,7 +457,33 @@ impl Engine {
         let mut buf = self.spare_kernels.pop().unwrap_or_default();
         buf.clear();
         buf.extend_from_slice(kernels);
-        self.add_stream(buf, start_ms)
+        self.add_stream_inner(buf, Vec::new(), start_ms)
+    }
+
+    /// [`Engine::add_stream_slice`] with the kernels' contention profiles
+    /// precomputed by the caller (one [`RunningKernel::profile`] per
+    /// kernel, on this engine's GPU). The per-kernel-start profile
+    /// evaluation — the one `powf` left in the event hot path — is then
+    /// skipped; since the profile is a pure function of `(kernel, gpu)` the
+    /// run is bit-identical to [`Engine::add_stream_slice`] (debug builds
+    /// assert this at every kernel start).
+    ///
+    /// # Panics
+    /// Panics if `profiles.len() != kernels.len()`.
+    pub fn add_stream_slice_profiled(
+        &mut self,
+        kernels: &[KernelDesc],
+        profiles: &[RunningKernel],
+        start_ms: f64,
+    ) -> StreamId {
+        assert_eq!(kernels.len(), profiles.len(), "one profile per kernel");
+        let mut buf = self.spare_kernels.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(kernels);
+        let mut pbuf = self.spare_profiles.pop().unwrap_or_default();
+        pbuf.clear();
+        pbuf.extend_from_slice(profiles);
+        self.add_stream_inner(buf, pbuf, start_ms)
     }
 
     /// True when no stream is running or waiting to start.
@@ -465,6 +517,10 @@ impl Engine {
                     if buf.capacity() > 0 && self.spare_kernels.len() < SPARE_POOL_CAP {
                         self.spare_kernels.push(buf);
                     }
+                    let buf = std::mem::take(&mut self.streams[idx].profiles);
+                    if buf.capacity() > 0 && self.spare_profiles.len() < SPARE_POOL_CAP {
+                        self.spare_profiles.push(buf);
+                    }
                     self.free_slots.push(idx);
                 }
                 return;
@@ -475,7 +531,17 @@ impl Engine {
             // (launch + exec roofline) and the contention shares; the
             // kernel noise factor is drawn unconditionally so the RNG
             // stream is independent of degenerate zero-cost kernels.
-            let profile = RunningKernel::profile(&kernel, &self.gpu);
+            let profile = match self.streams[idx].profiles.get(next) {
+                Some(&p) => {
+                    debug_assert_eq!(
+                        p,
+                        RunningKernel::profile(&kernel, &self.gpu),
+                        "precomputed profile diverges from fresh evaluation"
+                    );
+                    p
+                }
+                None => RunningKernel::profile(&kernel, &self.gpu),
+            };
             let kf = self.noise.kernel_factor(&mut self.rng);
             let mut dur = (kernel.launch_ms + profile.exec_ms) * self.session_factor * kf;
             if let Some(f) = &mut self.faults {

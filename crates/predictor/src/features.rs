@@ -68,11 +68,30 @@ pub struct GroupSpec {
 /// is overwritten (unused slots are zeroed), so the buffer can be reused
 /// across candidates — this is the multi-way search's per-probe encoder.
 pub fn encode_features(entries: &[GroupEntry], lib: &ModelLibrary, out: &mut [f64]) {
+    let mut ops = [0usize; MAX_COLOCATED];
+    assert!(
+        !entries.is_empty() && entries.len() <= MAX_COLOCATED,
+        "a group holds 1..={MAX_COLOCATED} entries"
+    );
+    for (n, e) in ops.iter_mut().zip(entries) {
+        *n = lib.graph(e.model, e.input).len();
+    }
+    encode_features_with_ops(entries, &ops[..entries.len()], out);
+}
+
+/// [`encode_features`] with the per-entry operator counts supplied by the
+/// caller instead of looked up per entry: `n_ops[i]` must equal
+/// `lib.graph(entries[i].model, entries[i].input).len()`. The scheduler's
+/// search already holds each query's operator count, so this variant keeps
+/// per-candidate encoding free of hash-map lookups; the produced vector is
+/// bit-identical to [`encode_features`] for matching counts.
+pub fn encode_features_with_ops(entries: &[GroupEntry], n_ops: &[usize], out: &mut [f64]) {
     assert_eq!(out.len(), FEATURE_DIM, "feature buffer has the wrong size");
     assert!(
         !entries.is_empty() && entries.len() <= MAX_COLOCATED,
         "a group holds 1..={MAX_COLOCATED} entries"
     );
+    assert_eq!(entries.len(), n_ops.len(), "one operator count per entry");
     out.fill(0.0);
     // Slots in model-index order, as the paper's layout prescribes. The
     // entry count is at most MAX_COLOCATED (4): an insertion sort over a
@@ -92,7 +111,7 @@ pub fn encode_features(entries: &[GroupEntry], lib: &ModelLibrary, out: &mut [f6
     for (slot, &idx) in order.iter().enumerate() {
         let e = &entries[idx];
         out[e.model.index()] = 1.0;
-        let n_ops = lib.graph(e.model, e.input).len() as f64;
+        let n_ops = n_ops[idx] as f64;
         let base = MODEL_SLOT_BASE + slot * SLOT_WIDTH;
         out[base] = e.op_start as f64 / n_ops;
         out[base + 1] = e.op_end as f64 / n_ops;

@@ -31,8 +31,8 @@ pub use affinity::{
 };
 pub use dataset::Dataset;
 pub use features::{
-    encode_features, feature_slot_of, GroupEntry, GroupSpec, FEATURE_DIM, MAX_COLOCATED,
-    MODEL_SLOT_BASE, SLOT_WIDTH,
+    encode_features, encode_features_with_ops, feature_slot_of, GroupEntry, GroupSpec,
+    FEATURE_DIM, MAX_COLOCATED, MODEL_SLOT_BASE, SLOT_WIDTH,
 };
 pub use linreg::LinearRegression;
 pub use mlp::{Mlp, MlpConfig};

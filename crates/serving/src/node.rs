@@ -11,7 +11,7 @@
 //! figure is computed.
 
 use crate::invariants::InvariantChecker;
-use abacus_core::{Query, Scheduler, SegmentalExecutor};
+use abacus_core::{Query, RoundDecision, Scheduler, SegmentalExecutor};
 use abacus_metrics::{QueryOutcome, QueryRecord};
 use dnn_models::{ModelId, ModelLibrary, QueryInput};
 use telemetry::{Counter, Hist, LedgerEntry, RoundEntry, Telemetry};
@@ -149,7 +149,8 @@ pub fn simulate_node_instrumented(
         }
     };
 
-    // Retire `queue[pos]` with `outcome` at `now`.
+    // Retire `queue[pos]` with `outcome` at `now`. Notifies the scheduler
+    // first so its incremental order index stays in sync with the queue.
     #[allow(clippy::too_many_arguments)]
     fn retire(
         queue: &mut Vec<Query>,
@@ -157,10 +158,12 @@ pub fn simulate_node_instrumented(
         outcome: QueryOutcome,
         now: f64,
         services: &[ServiceSpec],
+        scheduler: &mut dyn Scheduler,
         records: &mut Vec<QueryRecord>,
         checker: &mut Option<&mut InvariantChecker>,
         telemetry: &mut Option<&mut Telemetry>,
     ) {
+        scheduler.on_retire(&queue[pos]);
         let q = queue.swap_remove(pos);
         if let Some(c) = checker.as_deref_mut() {
             c.on_terminal(q.id, outcome, now);
@@ -186,9 +189,18 @@ pub fn simulate_node_instrumented(
     }
 
     let mut round: u64 = 0;
+    // Round-persistent buffers: the decision is written in place each round
+    // (the scheduler recycles the planned-entry vector through it), and the
+    // timeout / ledger scratch vectors are reused across rounds.
+    let mut decision = RoundDecision::idle();
+    let mut expired_ids: Vec<u64> = Vec::new();
+    let mut entry_pos: Vec<usize> = Vec::new();
     loop {
         let first_new = next_arrival;
         admit(&mut queue, &mut next_arrival, now);
+        for q in &queue[queue.len() - (next_arrival - first_new)..] {
+            scheduler.on_admit(q);
+        }
         if let Some(c) = checker.as_deref_mut() {
             for i in first_new..next_arrival {
                 c.on_issue(i as u64, workload.arrivals[i].at_ms);
@@ -204,20 +216,30 @@ pub fn simulate_node_instrumented(
         // Defensive per-query timeout: bound the sojourn of queries the
         // scheduler can neither serve nor bring itself to drop.
         if let Some(factor) = opts.timeout_factor {
-            loop {
-                let expired = queue
+            // One pass collects every expired query; retiring in ascending
+            // id order reproduces exactly what the former per-expiry
+            // `filter().min_by_key()` rescan emitted (the predicate is
+            // per-query, so retiring one cannot un-expire another).
+            expired_ids.clear();
+            expired_ids.extend(
+                queue
                     .iter()
-                    .enumerate()
-                    .filter(|(_, q)| now - q.arrival_ms > factor * q.qos_ms)
-                    .min_by_key(|(_, q)| q.id)
-                    .map(|(pos, _)| pos);
-                let Some(pos) = expired else { break };
+                    .filter(|q| now - q.arrival_ms > factor * q.qos_ms)
+                    .map(|q| q.id),
+            );
+            expired_ids.sort_unstable();
+            for &id in &expired_ids {
+                let pos = queue
+                    .iter()
+                    .position(|q| q.id == id)
+                    .expect("expired query vanished from queue");
                 retire(
                     &mut queue,
                     pos,
                     QueryOutcome::TimedOut,
                     now,
                     services,
+                    scheduler,
                     &mut records,
                     &mut checker,
                     &mut telemetry,
@@ -234,35 +256,49 @@ pub fn simulate_node_instrumented(
             }
         }
 
-        let decision = scheduler.decide(now, &queue);
+        scheduler.decide_into(now, &queue, &mut decision);
         round += 1;
         if let Some(t) = telemetry.as_deref_mut() {
             t.registry.inc(Counter::SchedRounds);
+            let stats = scheduler.decision_stats();
+            t.registry
+                .set(Counter::DecisionOrderPeak, stats.order_peak_len as u64);
+            t.registry
+                .set(Counter::DecisionScratchPeak, stats.scratch_peak as u64);
+            t.registry
+                .set(Counter::DecisionIncrementalRounds, stats.incremental_rounds);
+            t.registry
+                .set(Counter::DecisionFullRebuilds, stats.full_rebuilds);
             // Ledger rows only for rounds that made progress — idle probes
             // of an unservable queue would otherwise dominate the ledger.
             if decision.group.is_some() || !decision.dropped.is_empty() {
                 let (entries, predicted_ms, prediction_rounds, headroom) = match &decision.group {
                     Some(g) => {
+                        // Resolve each entry's queue position once; the row
+                        // build and the critical-headroom fold below share
+                        // the resolved positions instead of re-running a
+                        // `find` over the queue per entry per use.
+                        entry_pos.clear();
+                        entry_pos.extend(g.entries.iter().map(|e| {
+                            queue
+                                .iter()
+                                .position(|q| q.id == e.query_id)
+                                .expect("planned entry references an unknown query")
+                        }));
                         let entries: Vec<LedgerEntry> = g
                             .entries
                             .iter()
-                            .map(|e| {
-                                let q = queue.iter().find(|q| q.id == e.query_id).unwrap();
-                                LedgerEntry {
-                                    query: e.query_id,
-                                    model: q.model,
-                                    op_start: e.op_start,
-                                    op_end: e.op_end,
-                                }
+                            .zip(&entry_pos)
+                            .map(|(e, &pos)| LedgerEntry {
+                                query: e.query_id,
+                                model: queue[pos].model,
+                                op_start: e.op_start,
+                                op_end: e.op_end,
                             })
                             .collect();
-                        let headroom = g
-                            .entries
+                        let headroom = entry_pos
                             .iter()
-                            .map(|e| {
-                                let q = queue.iter().find(|q| q.id == e.query_id).unwrap();
-                                q.headroom_ms(now) - decision.overhead_ms
-                            })
+                            .map(|&pos| queue[pos].headroom_ms(now) - decision.overhead_ms)
                             .min_by(f64::total_cmp)
                             .unwrap_or(f64::NAN);
                         let predicted = if g.predicted_ms > 0.0 {
@@ -299,6 +335,7 @@ pub fn simulate_node_instrumented(
                     QueryOutcome::Dropped,
                     now,
                     services,
+                    scheduler,
                     &mut records,
                     &mut checker,
                     &mut telemetry,
@@ -311,7 +348,7 @@ pub fn simulate_node_instrumented(
                 }
             }
         }
-        let Some(group) = decision.group else {
+        let Some(group) = decision.group.as_ref() else {
             if retired_any || queue.is_empty() {
                 // Progress was made (or everything present was retired);
                 // take the next arrival.
@@ -346,6 +383,7 @@ pub fn simulate_node_instrumented(
                 QueryOutcome::TimedOut,
                 now,
                 services,
+                scheduler,
                 &mut records,
                 &mut checker,
                 &mut telemetry,
@@ -416,6 +454,7 @@ pub fn simulate_node_instrumented(
                     QueryOutcome::Completed,
                     now,
                     services,
+                    scheduler,
                     &mut records,
                     &mut checker,
                     &mut telemetry,

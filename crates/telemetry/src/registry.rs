@@ -36,11 +36,19 @@ pub enum Counter {
     /// Fullest calendar-queue bucket seen by the engine core (peak; 0 when
     /// the backlog never left the sorted-Vec regime).
     EngineCalendarPeakBucket,
+    /// Deepest scheduler order-index seen (peak queue of deadline keys).
+    DecisionOrderPeak,
+    /// High-water mark of the scheduler's per-round scratch arena (peak).
+    DecisionScratchPeak,
+    /// Decision rounds served by the incremental order index (cumulative).
+    DecisionIncrementalRounds,
+    /// Decision rounds that fell back to a full order rebuild (cumulative).
+    DecisionFullRebuilds,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 16] = [
         Counter::QueriesArrived,
         Counter::QueriesCompleted,
         Counter::QueriesDropped,
@@ -53,6 +61,10 @@ impl Counter {
         Counter::EngineMaxActive,
         Counter::EnginePendingPeak,
         Counter::EngineCalendarPeakBucket,
+        Counter::DecisionOrderPeak,
+        Counter::DecisionScratchPeak,
+        Counter::DecisionIncrementalRounds,
+        Counter::DecisionFullRebuilds,
     ];
 
     /// Stable display name.
@@ -70,6 +82,10 @@ impl Counter {
             Counter::EngineMaxActive => "engine_max_active",
             Counter::EnginePendingPeak => "engine_pending_peak",
             Counter::EngineCalendarPeakBucket => "engine_calendar_peak_bucket",
+            Counter::DecisionOrderPeak => "decision_order_peak",
+            Counter::DecisionScratchPeak => "decision_scratch_peak",
+            Counter::DecisionIncrementalRounds => "decision_incremental_rounds",
+            Counter::DecisionFullRebuilds => "decision_full_rebuilds",
         }
     }
 }

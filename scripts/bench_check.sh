@@ -10,6 +10,9 @@
 #   * the discrete-event engine core: events/sec vs the embedded
 #     pre-overhaul baseline engine, plus a bit-identity cross-check of the
 #     two engines' completions (BENCH_engine.json)
+#   * the decision hot path: decision rounds/sec vs the embedded
+#     pre-overhaul controller, plus a bit-identity cross-check of the two
+#     controllers' decision streams (BENCH_decision.json)
 #
 # Each bench re-measures itself in quick mode and fails (exit 1) if it
 # regressed by more than 2x against its committed baseline. Regenerate a
@@ -19,6 +22,7 @@
 #   cargo run --release -p bench --bin serving_bench -- --baseline-gps <old>
 #   cargo run --release -p bench --bin train_bench
 #   cargo run --release -p bench --bin engine_bench
+#   cargo run --release -p bench --bin decision_bench
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,8 +30,9 @@ SEARCH_BASELINE="${1:-BENCH_search.json}"
 SERVING_BASELINE="${2:-BENCH_serving.json}"
 TRAIN_BASELINE="${3:-BENCH_train.json}"
 ENGINE_BASELINE="${4:-BENCH_engine.json}"
+DECISION_BASELINE="${5:-BENCH_decision.json}"
 
-for f in "$SEARCH_BASELINE" "$SERVING_BASELINE" "$TRAIN_BASELINE" "$ENGINE_BASELINE"; do
+for f in "$SEARCH_BASELINE" "$SERVING_BASELINE" "$TRAIN_BASELINE" "$ENGINE_BASELINE" "$DECISION_BASELINE"; do
     if [[ ! -f "$f" ]]; then
         echo "baseline $f not found — generate it first (see header of $0)" >&2
         exit 2
@@ -38,6 +43,7 @@ cargo run --release -q -p bench --bin search_bench -- --quick --check "$SEARCH_B
 cargo run --release -q -p bench --bin serving_bench -- --quick --check "$SERVING_BASELINE"
 cargo run --release -q -p bench --bin train_bench -- --quick --check "$TRAIN_BASELINE"
 cargo run --release -q -p bench --bin engine_bench -- --quick --check "$ENGINE_BASELINE"
+cargo run --release -q -p bench --bin decision_bench -- --quick --check "$DECISION_BASELINE"
 
 # Fault-sweep determinism gate: the `faults` subcommand must emit
 # byte-identical CSVs whether its cells run serially or on the rayon pool

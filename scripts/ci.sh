@@ -24,6 +24,14 @@ echo "== engine golden + proptest bit-identity =="
 # pinned fixed-seed workloads and on randomized property workloads.
 cargo test -q -p gpu-sim --test golden_engine
 
+echo "== decision golden + proptest bit-identity =="
+# The decision hot path (incremental order index + arena scratch) must
+# stay bit-identical to the embedded pre-overhaul controller, on pinned
+# fixed-seed replays and grid-quantised random queues, and a steady-state
+# decide round must allocate nothing.
+cargo test -q -p abacus-core --test golden_decisions
+cargo test -q -p abacus-core --test decision_alloc --release
+
 echo "== telemetry-disabled golden checksum =="
 # The telemetry-instrumented serving loop with no Telemetry attached must
 # stay byte-identical to the pre-telemetry loop — pinned by the no-fault
