@@ -20,10 +20,13 @@
 //!   in the emitted JSON (provenance for the current numbers).
 //!
 //! The sweep section measures the same cells twice — once in a serial loop
-//! and once fanned out with the vendored rayon stub — and asserts the
-//! results are identical. On a single-core host (the CI container) the
-//! speedup is ~1.0 by construction; `host_cores` is recorded so readers can
-//! interpret the ratio. The sweep *speedup* is therefore informational; the
+//! and once through the parallel leg, which fans out with the vendored
+//! rayon stub only when `rayon::worth_fanning_out` says the host can run
+//! cells concurrently (a single-core host falls back to the serial
+//! iterator instead of paying scoped-thread overhead for nothing) — and
+//! asserts the results are identical. On a single-core host (the CI
+//! container) the speedup is ~1.0 by construction; `host_cores` is
+//! recorded so readers can interpret the ratio. The sweep *speedup* is therefore informational; the
 //! `--check` gate only uses the host-independent groups/sec and cell time.
 
 use bench::Fixture;
@@ -256,21 +259,42 @@ fn main() {
             fork_seed(2021, row as u64),
         ))
     };
-    // Two interleaved reps, keeping the minimum of each leg: external
-    // noise only ever adds time, so the minima estimate the true costs —
-    // one rep on a time-shared host routinely reports a phantom slowdown
-    // in whichever leg the co-tenant happened to land on.
+    // Interleaved reps with alternating leg order, keeping the minimum of
+    // each leg: external noise only ever adds time, so the minima estimate
+    // the true costs, and alternating which leg runs first cancels the
+    // position bias that used to charge whichever leg ran second with the
+    // rep's warmup/co-tenant cost (the source of the phantom 0.93x
+    // "parallel slowdown" this bench once reported).
+    let run_serial = || cells.iter().map(run_one).collect::<Vec<_>>();
+    // Fan out only when the host can actually run cells concurrently: on
+    // a single core the scoped-thread machinery is pure overhead.
+    let run_parallel = || {
+        if rayon::worth_fanning_out(cells.len()) {
+            cells.par_iter().map(run_one).collect::<Vec<_>>()
+        } else {
+            run_serial()
+        }
+    };
     let mut sweep_serial_ms = f64::INFINITY;
     let mut sweep_parallel_ms = f64::INFINITY;
     let mut serial: Vec<CellOutcome> = Vec::new();
     let mut parallel: Vec<CellOutcome> = Vec::new();
-    for _ in 0..2 {
-        let t0 = Instant::now();
-        serial = cells.iter().map(run_one).collect();
-        sweep_serial_ms = sweep_serial_ms.min(t0.elapsed().as_secs_f64() * 1e3);
-        let t0 = Instant::now();
-        parallel = cells.par_iter().map(run_one).collect();
-        sweep_parallel_ms = sweep_parallel_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    for rep in 0..4 {
+        if rep % 2 == 0 {
+            let t0 = Instant::now();
+            serial = run_serial();
+            sweep_serial_ms = sweep_serial_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            let t0 = Instant::now();
+            parallel = run_parallel();
+            sweep_parallel_ms = sweep_parallel_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        } else {
+            let t0 = Instant::now();
+            parallel = run_parallel();
+            sweep_parallel_ms = sweep_parallel_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            let t0 = Instant::now();
+            serial = run_serial();
+            sweep_serial_ms = sweep_serial_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
     }
     let identical = serial.len() == parallel.len()
         && serial.iter().zip(&parallel).all(|(a, b)| {

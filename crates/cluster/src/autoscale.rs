@@ -7,6 +7,15 @@
 //! benefits from *scaling out* (more nodes). This module implements that
 //! decision rule from the signals an Abacus node already produces: QoS
 //! violation ratio and the measured overlap gain of its operator groups.
+//!
+//! [`PredictiveAutoscaler`] is the routed-cluster counterpart: instead of
+//! reacting to violation ratios after the fact, it reads the *known* MAF
+//! diurnal [`RateTrace`] a little ahead of the clock and sizes the active
+//! GPU set so the predicted offered load lands at a target utilisation —
+//! capacity is provisioned before the ramp arrives, not after the queue
+//! melts.
+
+use workload::RateTrace;
 
 /// Signals sampled from one serving node over a control window.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -102,6 +111,66 @@ impl AutoscalePolicy {
     }
 }
 
+/// Predictive GPU-count sizing from a known offered-load timeline.
+///
+/// The routed cluster simulation ticks this once per routing epoch: the
+/// scaler looks `lead_ms` ahead in the trace, converts the predicted
+/// aggregate rate into reference-GPU equivalents, and the simulation
+/// activates the cheapest prefix of its (derate-sorted) GPU priority
+/// order whose summed capacity covers the demand. Deactivated GPUs drain
+/// their queues but receive no new routes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictiveAutoscaler {
+    /// Queries/sec one reference-derate (1.0×) GPU sustains at QoS.
+    pub capacity_qps_per_gpu: f64,
+    /// Plan so predicted load sits at this fraction of active capacity.
+    pub target_utilization: f64,
+    /// How far ahead of the clock to read the trace, ms.
+    pub lead_ms: f64,
+    /// Never deactivate below this many GPUs.
+    pub min_gpus: usize,
+}
+
+impl PredictiveAutoscaler {
+    /// Conservative defaults: size for 70% utilisation one minute ahead.
+    pub fn new(capacity_qps_per_gpu: f64, min_gpus: usize) -> Self {
+        assert!(
+            capacity_qps_per_gpu.is_finite() && capacity_qps_per_gpu > 0.0,
+            "per-GPU capacity must be positive"
+        );
+        Self {
+            capacity_qps_per_gpu,
+            target_utilization: 0.7,
+            lead_ms: 60_000.0,
+            min_gpus: min_gpus.max(1),
+        }
+    }
+
+    /// Reference-GPU equivalents needed to carry the trace's predicted
+    /// rate at `now_ms + lead_ms` (clamped to the trace horizon) at the
+    /// target utilisation. Fractional: the caller rounds up by activating
+    /// GPUs until the summed capacity covers it.
+    pub fn needed_capacity(&self, trace: &RateTrace, now_ms: f64) -> f64 {
+        if trace.buckets() == 0 {
+            return self.min_gpus as f64;
+        }
+        let predicted_qps = trace.qps_at_ms(now_ms + self.lead_ms);
+        predicted_qps / (self.capacity_qps_per_gpu * self.target_utilization)
+    }
+}
+
+/// What the predictive autoscaler did over one routed-cluster run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AutoscaleStats {
+    /// GPU activations (0 when no autoscaler ran).
+    pub up_events: u64,
+    /// GPU deactivations.
+    pub down_events: u64,
+    /// Active GPUs averaged over routing epochs (fleet size when no
+    /// autoscaler ran).
+    pub mean_active_gpus: f64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +220,32 @@ mod tests {
     #[should_panic(expected = "busy out of range")]
     fn validates_inputs() {
         AutoscalePolicy::default().decide(&signals(1.5, 0.0, 1.0));
+    }
+
+    #[test]
+    fn predictive_scaler_reads_the_trace_ahead() {
+        // Ramp: 10 qps for the first minute, 100 qps for the second.
+        let trace = RateTrace::new(vec![10.0, 100.0]);
+        let sc = PredictiveAutoscaler {
+            capacity_qps_per_gpu: 10.0,
+            target_utilization: 1.0,
+            lead_ms: 60_000.0,
+            min_gpus: 1,
+        };
+        // At t=0 the scaler already sees minute 1's 100 qps.
+        assert!((sc.needed_capacity(&trace, 0.0) - 10.0).abs() < 1e-9);
+        // Past the horizon it holds the last minute's rate.
+        assert!((sc.needed_capacity(&trace, 120_000.0) - 10.0).abs() < 1e-9);
+        // No lead: sizes for the current minute.
+        let now_only = PredictiveAutoscaler { lead_ms: 0.0, ..sc };
+        assert!((now_only.needed_capacity(&trace, 0.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predictive_scaler_respects_utilization_target() {
+        let trace = RateTrace::new(vec![70.0]);
+        let sc = PredictiveAutoscaler::new(10.0, 2);
+        // 70 qps at 70% target utilisation → 10 reference GPUs.
+        assert!((sc.needed_capacity(&trace, 0.0) - 10.0).abs() < 1e-9);
     }
 }

@@ -8,12 +8,27 @@
 //! MAF-like trace; [`timeline`] produces the per-minute
 //! throughput/p99/average series of Fig. 22; [`autoscale`] implements the
 //! scale-in/out/up decision rule sketched as future work.
+//!
+//! [`route`] is the performance-first ingress that replaces round-robin +
+//! least-connections: a headroom-scored router that scores every candidate
+//! GPU with one batched predictor forward, sheds or spills when nothing
+//! has headroom, supports heterogeneous (A100/V100/MIG) pools through
+//! per-GPU derates, and is driven by [`autoscale::PredictiveAutoscaler`]
+//! over diurnal traces.
 
 pub mod autoscale;
+pub mod route;
 pub mod sim;
 pub mod timeline;
 
-pub use autoscale::{AutoscalePolicy, NodeSignals, ScaleDecision};
+pub use autoscale::{
+    AutoscalePolicy, AutoscaleStats, NodeSignals, PredictiveAutoscaler, ScaleDecision,
+};
+pub use route::{
+    derate_of, run_routed_cluster, run_routed_cluster_on, write_records_csv, HeadroomRouter,
+    NodeHead, NodePool,
+    RouteOutcome, RoutedClusterConfig, RoutedRunResult, RouterStats,
+};
 pub use sim::{
     cluster_workload, run_cluster, run_cluster_detailed, ClusterConfig, ClusterRunResult,
     ClusterSystem, GpuUsage,

@@ -248,7 +248,7 @@ impl GpuSim {
     }
 }
 
-fn record_of(q: &Query, latency_ms: f64, outcome: QueryOutcome) -> QueryRecord {
+pub(crate) fn record_of(q: &Query, latency_ms: f64, outcome: QueryOutcome) -> QueryRecord {
     QueryRecord {
         service: q.model.index(),
         arrival_ms: q.arrival_ms,
@@ -266,15 +266,28 @@ pub fn cluster_workload(
     cfg: &ClusterConfig,
     lib: &ModelLibrary,
 ) -> (Vec<Arrival>, Vec<QueryInput>) {
-    let mut rng = SeededRng::new(fork_seed(cfg.seed, 0x10AD));
-    let per_service = cfg.trace.scaled(1.0 / cfg.models.len() as f64);
-    let streams: Vec<Vec<Arrival>> = (0..cfg.models.len())
+    shared_workload(&cfg.models, &cfg.trace, cfg.seed, lib)
+}
+
+/// The workload derivation shared by the round-robin and routed cluster
+/// paths: identical `(models, trace, seed)` produce the byte-identical
+/// arrival stream, so the two ingress designs are compared on equal
+/// footing.
+pub(crate) fn shared_workload(
+    models: &[ModelId],
+    trace: &RateTrace,
+    seed: u64,
+    lib: &ModelLibrary,
+) -> (Vec<Arrival>, Vec<QueryInput>) {
+    let mut rng = SeededRng::new(fork_seed(seed, 0x10AD));
+    let per_service = trace.scaled(1.0 / models.len() as f64);
+    let streams: Vec<Vec<Arrival>> = (0..models.len())
         .map(|s| per_service.generate(s, &mut rng))
         .collect();
     let arrivals = workload::merge_arrivals(streams);
     let inputs: Vec<QueryInput> = arrivals
         .iter()
-        .map(|a| lib.random_input(cfg.models[a.service], &mut rng))
+        .map(|a| lib.random_input(models[a.service], &mut rng))
         .collect();
     (arrivals, inputs)
 }

@@ -82,6 +82,16 @@ impl Query {
         self.headroom_ms(now_ms) - predict_lat_ms
     }
 
+    /// Routing-time headroom: what would remain of the QoS budget if the
+    /// query were placed on a node that frees up `wait_ms` from now and
+    /// then serves it in `predict_lat_ms`. This is Eq. 2 extended by the
+    /// candidate node's queueing estimate — the score the cluster router
+    /// maximises over nodes. Negative means the node is predicted to miss
+    /// the deadline.
+    pub fn routing_headroom_ms(&self, now_ms: f64, wait_ms: f64, predict_lat_ms: f64) -> f64 {
+        self.headroom_ms(now_ms) - wait_ms - predict_lat_ms
+    }
+
     /// Operators not yet executed.
     pub fn remaining_ops(&self) -> usize {
         self.n_ops - self.next_op
@@ -130,6 +140,19 @@ mod tests {
         let q = q();
         // Eq. 3: planning during a 15 ms in-flight group.
         assert_eq!(q.schedule_headroom_ms(120.0, 15.0), 50.0 - 20.0 - 15.0);
+    }
+
+    #[test]
+    fn routing_headroom_charges_wait_and_service() {
+        let q = q();
+        // 50 ms budget − 10 elapsed − 12 node wait − 20 predicted service.
+        assert_eq!(q.routing_headroom_ms(110.0, 12.0, 20.0), 8.0);
+        // An idle node is pure Eq. 3.
+        assert_eq!(
+            q.routing_headroom_ms(110.0, 0.0, 20.0),
+            q.schedule_headroom_ms(110.0, 20.0)
+        );
+        assert!(q.routing_headroom_ms(110.0, 30.0, 20.0) < 0.0);
     }
 
     #[test]

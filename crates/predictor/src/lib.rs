@@ -76,8 +76,74 @@ pub trait LatencyModel: Send + Sync {
         xs.iter().map(|x| self.predict_one(x)).collect()
     }
 
+    /// Batched node-scoring entry point for cluster routing: predict `n`
+    /// candidate rows in **one** [`predict_into`] forward, then scale
+    /// prediction `i` by `derates[i]` — the candidate node's latency
+    /// multiplier relative to the hardware this model was trained on.
+    /// Scoring N heterogeneous nodes therefore costs exactly one batched
+    /// forward, never N scalar ones.
+    ///
+    /// # Panics
+    /// Panics when `derates.len() != n` (and, via [`predict_into`], when
+    /// `xs.len()` is not a multiple of `n`).
+    ///
+    /// [`predict_into`]: LatencyModel::predict_into
+    fn predict_derated_into(&self, xs: &[f64], n: usize, derates: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(derates.len(), n, "one derate per candidate row");
+        self.predict_into(xs, n, out);
+        for (p, &d) in out.iter_mut().zip(derates) {
+            *p *= d;
+        }
+    }
+
     /// Display name for figures.
     fn name(&self) -> &'static str;
+}
+
+/// A latency model scaled by a constant factor — a reference-hardware
+/// predictor viewed through a heterogeneous node's derate (e.g. the V100
+/// unified MLP serving as an A100 or MIG-slice predictor). Batched calls
+/// forward to the inner model unchanged, so the scaling is allocation-free
+/// and preserves the inner model's one-forward batching.
+pub struct DeratedModel {
+    inner: std::sync::Arc<dyn LatencyModel>,
+    factor: f64,
+}
+
+impl DeratedModel {
+    /// Wrap `inner`, multiplying every prediction by `factor`.
+    ///
+    /// # Panics
+    /// Panics unless `factor` is finite and positive.
+    pub fn new(inner: std::sync::Arc<dyn LatencyModel>, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "derate factor must be finite and positive, got {factor}"
+        );
+        Self { inner, factor }
+    }
+
+    /// The scaling factor applied to the inner model's predictions.
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+}
+
+impl LatencyModel for DeratedModel {
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        self.inner.predict_one(x) * self.factor
+    }
+
+    fn predict_into(&self, xs: &[f64], n: usize, out: &mut Vec<f64>) {
+        self.inner.predict_into(xs, n, out);
+        for p in out.iter_mut() {
+            *p *= self.factor;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "derated"
+    }
 }
 
 /// An oracle predictor that queries the GPU simulator's noise-free latency
@@ -124,6 +190,24 @@ mod tests {
     fn default_batch_maps_one_by_one() {
         let xs = vec![vec![1.0], vec![3.0]];
         assert_eq!(Doubler.predict_batch(&xs), vec![2.0, 6.0]);
+    }
+
+    #[test]
+    fn derated_batch_scales_each_row() {
+        let mut out = Vec::new();
+        Doubler.predict_derated_into(&[1.0, 3.0, 5.0], 3, &[1.0, 2.0, 0.5], &mut out);
+        assert_eq!(out, vec![2.0, 12.0, 5.0]);
+        let derated = DeratedModel::new(std::sync::Arc::new(Doubler), 3.0);
+        assert_eq!(derated.predict_one(&[2.0]), 12.0);
+        derated.predict_into(&[1.0, 3.0], 2, &mut out);
+        assert_eq!(out, vec![6.0, 18.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one derate per candidate row")]
+    fn derated_batch_validates_lengths() {
+        let mut out = Vec::new();
+        Doubler.predict_derated_into(&[1.0, 3.0], 2, &[1.0], &mut out);
     }
 
     #[test]

@@ -44,11 +44,25 @@ pub enum Counter {
     DecisionIncrementalRounds,
     /// Decision rounds that fell back to a full order rebuild (cumulative).
     DecisionFullRebuilds,
+    /// Queries the cluster router placed on the best-headroom node.
+    RouterRouted,
+    /// Queries spilled to the weighted overflow pool (no node had
+    /// headroom, but the predicted miss was within the spill slack).
+    RouterSpilled,
+    /// Queries shed at ingress (no node could finish inside the deadline).
+    RouterShed,
+    /// Batched node-scoring forwards issued by the router (one per scored
+    /// arrival — the one-forward-per-arrival contract).
+    RouterForwards,
+    /// GPU activations by the predictive autoscaler (cumulative).
+    AutoscaleUpEvents,
+    /// GPU deactivations by the predictive autoscaler (cumulative).
+    AutoscaleDownEvents,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 22] = [
         Counter::QueriesArrived,
         Counter::QueriesCompleted,
         Counter::QueriesDropped,
@@ -65,6 +79,12 @@ impl Counter {
         Counter::DecisionScratchPeak,
         Counter::DecisionIncrementalRounds,
         Counter::DecisionFullRebuilds,
+        Counter::RouterRouted,
+        Counter::RouterSpilled,
+        Counter::RouterShed,
+        Counter::RouterForwards,
+        Counter::AutoscaleUpEvents,
+        Counter::AutoscaleDownEvents,
     ];
 
     /// Stable display name.
@@ -86,6 +106,12 @@ impl Counter {
             Counter::DecisionScratchPeak => "decision_scratch_peak",
             Counter::DecisionIncrementalRounds => "decision_incremental_rounds",
             Counter::DecisionFullRebuilds => "decision_full_rebuilds",
+            Counter::RouterRouted => "router_routed",
+            Counter::RouterSpilled => "router_spilled",
+            Counter::RouterShed => "router_shed",
+            Counter::RouterForwards => "router_forwards",
+            Counter::AutoscaleUpEvents => "autoscale_up_events",
+            Counter::AutoscaleDownEvents => "autoscale_down_events",
         }
     }
 }
@@ -104,16 +130,20 @@ pub enum Hist {
     QueueDelayMs,
     /// Wall time per executed operator group, ms.
     GroupDurationMs,
+    /// Headroom-score spread (best − worst candidate, ms) per routed
+    /// arrival — how much signal the router had to discriminate nodes.
+    RouterScoreSpreadMs,
 }
 
 impl Hist {
     /// Every histogram, in display order.
-    pub const ALL: [Hist; 5] = [
+    pub const ALL: [Hist; 6] = [
         Hist::SearchRounds,
         Hist::GroupWays,
         Hist::PredictorBatch,
         Hist::QueueDelayMs,
         Hist::GroupDurationMs,
+        Hist::RouterScoreSpreadMs,
     ];
 
     /// Stable display name.
@@ -124,6 +154,7 @@ impl Hist {
             Hist::PredictorBatch => "predictor_batch",
             Hist::QueueDelayMs => "queue_delay_ms",
             Hist::GroupDurationMs => "group_duration_ms",
+            Hist::RouterScoreSpreadMs => "router_score_spread_ms",
         }
     }
 
@@ -139,7 +170,7 @@ impl Hist {
         ];
         match self {
             Hist::SearchRounds | Hist::GroupWays | Hist::PredictorBatch => &COUNTS,
-            Hist::QueueDelayMs | Hist::GroupDurationMs => &MILLIS,
+            Hist::QueueDelayMs | Hist::GroupDurationMs | Hist::RouterScoreSpreadMs => &MILLIS,
         }
     }
 }

@@ -13,10 +13,14 @@ use crate::arrivals::Arrival;
 use crate::dist::Exponential;
 use crate::rng::SeededRng;
 
-/// A per-minute offered-load trace (queries per second, one entry a minute).
+/// A bucketed offered-load trace (queries per second, one entry per
+/// bucket). [`RateTrace::new`] builds the paper's per-minute form;
+/// [`RateTrace::with_bucket_ms`] supports sub-minute buckets for burst
+/// replays (e.g. the cluster ingress bench's ~1s 100x-volume spike).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RateTrace {
-    qps_per_minute: Vec<f64>,
+    qps_per_bucket: Vec<f64>,
+    bucket_ms: f64,
 }
 
 impl RateTrace {
@@ -25,31 +29,68 @@ impl RateTrace {
     /// # Panics
     /// Panics if any rate is negative or non-finite.
     pub fn new(qps_per_minute: Vec<f64>) -> Self {
-        assert!(
-            qps_per_minute.iter().all(|&q| q >= 0.0 && q.is_finite()),
-            "rates must be non-negative"
-        );
-        Self { qps_per_minute }
+        Self::with_bucket_ms(qps_per_minute, 60_000.0)
     }
 
-    /// Number of minutes covered.
+    /// Build a trace with an explicit bucket duration in milliseconds.
+    ///
+    /// # Panics
+    /// Panics if any rate is negative/non-finite or the bucket is not a
+    /// positive finite duration.
+    pub fn with_bucket_ms(qps_per_bucket: Vec<f64>, bucket_ms: f64) -> Self {
+        assert!(
+            qps_per_bucket.iter().all(|&q| q >= 0.0 && q.is_finite()),
+            "rates must be non-negative"
+        );
+        assert!(
+            bucket_ms.is_finite() && bucket_ms > 0.0,
+            "bucket must be a positive duration"
+        );
+        Self {
+            qps_per_bucket,
+            bucket_ms,
+        }
+    }
+
+    /// Bucket duration in milliseconds (60 000 for [`RateTrace::new`]).
+    pub fn bucket_ms(&self) -> f64 {
+        self.bucket_ms
+    }
+
+    /// Number of rate buckets.
+    pub fn buckets(&self) -> usize {
+        self.qps_per_bucket.len()
+    }
+
+    /// Offered load at absolute time `t_ms`, clamped to the final bucket
+    /// past the horizon (zero for an empty trace).
+    pub fn qps_at_ms(&self, t_ms: f64) -> f64 {
+        if self.qps_per_bucket.is_empty() {
+            return 0.0;
+        }
+        let b = ((t_ms.max(0.0) / self.bucket_ms) as usize).min(self.qps_per_bucket.len() - 1);
+        self.qps_per_bucket[b]
+    }
+
+    /// Number of buckets covered (minutes for [`RateTrace::new`] traces).
     pub fn minutes(&self) -> usize {
-        self.qps_per_minute.len()
+        self.qps_per_bucket.len()
     }
 
     /// Total duration in milliseconds.
     pub fn horizon_ms(&self) -> f64 {
-        self.minutes() as f64 * 60_000.0
+        self.buckets() as f64 * self.bucket_ms
     }
 
-    /// Offered load during minute `m` (QPS).
+    /// Offered load during bucket `m` (QPS; minute `m` for per-minute
+    /// traces).
     pub fn qps_at_minute(&self, m: usize) -> f64 {
-        self.qps_per_minute[m]
+        self.qps_per_bucket[m]
     }
 
-    /// Per-minute rates as a slice.
+    /// Per-bucket rates as a slice.
     pub fn rates(&self) -> &[f64] {
-        &self.qps_per_minute
+        &self.qps_per_bucket
     }
 
     /// Scale every rate by `factor` (e.g. to split a cluster trace across
@@ -57,7 +98,8 @@ impl RateTrace {
     pub fn scaled(&self, factor: f64) -> Self {
         assert!(factor >= 0.0 && factor.is_finite());
         Self {
-            qps_per_minute: self.qps_per_minute.iter().map(|q| q * factor).collect(),
+            qps_per_bucket: self.qps_per_bucket.iter().map(|q| q * factor).collect(),
+            bucket_ms: self.bucket_ms,
         }
     }
 
@@ -65,12 +107,12 @@ impl RateTrace {
     /// homogeneous Poisson process, rate held constant within each minute.
     pub fn generate(&self, service: usize, rng: &mut SeededRng) -> Vec<Arrival> {
         let mut out = Vec::new();
-        for (m, &qps) in self.qps_per_minute.iter().enumerate() {
+        for (m, &qps) in self.qps_per_bucket.iter().enumerate() {
             if qps <= 0.0 {
                 continue;
             }
-            let start = m as f64 * 60_000.0;
-            let end = start + 60_000.0;
+            let start = m as f64 * self.bucket_ms;
+            let end = start + self.bucket_ms;
             let inter = Exponential::new(qps / 1000.0);
             let mut t = start;
             loop {

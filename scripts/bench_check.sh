@@ -13,6 +13,10 @@
 #   * the decision hot path: decision rounds/sec vs the embedded
 #     pre-overhaul controller, plus a bit-identity cross-check of the two
 #     controllers' decision streams (BENCH_decision.json)
+#   * the cluster ingress hot path: routed queries/sec through the
+#     headroom router vs the embedded pre-overhaul round-robin cluster
+#     path, with a warmup-vs-timed checksum cross-check of each path and
+#     a >=3x routed-vs-round-robin speedup floor (BENCH_cluster.json)
 #
 # Each bench re-measures itself in quick mode and fails (exit 1) if it
 # regressed by more than 2x against its committed baseline. Regenerate a
@@ -23,6 +27,7 @@
 #   cargo run --release -p bench --bin train_bench
 #   cargo run --release -p bench --bin engine_bench
 #   cargo run --release -p bench --bin decision_bench
+#   cargo run --release -p bench --bin cluster_bench
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,8 +36,9 @@ SERVING_BASELINE="${2:-BENCH_serving.json}"
 TRAIN_BASELINE="${3:-BENCH_train.json}"
 ENGINE_BASELINE="${4:-BENCH_engine.json}"
 DECISION_BASELINE="${5:-BENCH_decision.json}"
+CLUSTER_BASELINE="${6:-BENCH_cluster.json}"
 
-for f in "$SEARCH_BASELINE" "$SERVING_BASELINE" "$TRAIN_BASELINE" "$ENGINE_BASELINE" "$DECISION_BASELINE"; do
+for f in "$SEARCH_BASELINE" "$SERVING_BASELINE" "$TRAIN_BASELINE" "$ENGINE_BASELINE" "$DECISION_BASELINE" "$CLUSTER_BASELINE"; do
     if [[ ! -f "$f" ]]; then
         echo "baseline $f not found — generate it first (see header of $0)" >&2
         exit 2
@@ -44,6 +50,7 @@ cargo run --release -q -p bench --bin serving_bench -- --quick --check "$SERVING
 cargo run --release -q -p bench --bin train_bench -- --quick --check "$TRAIN_BASELINE"
 cargo run --release -q -p bench --bin engine_bench -- --quick --check "$ENGINE_BASELINE"
 cargo run --release -q -p bench --bin decision_bench -- --quick --check "$DECISION_BASELINE"
+cargo run --release -q -p bench --bin cluster_bench -- --quick --check "$CLUSTER_BASELINE"
 
 # Fault-sweep determinism gate: the `faults` subcommand must emit
 # byte-identical CSVs whether its cells run serially or on the rayon pool

@@ -10,7 +10,7 @@ echo "== build (release, all targets) =="
 cargo build --release --workspace --all-targets
 
 echo "== clippy =="
-cargo clippy -q --workspace -- -D warnings
+cargo clippy -q --workspace --all-targets -- -D warnings
 
 echo "== tests =="
 cargo test -q
@@ -31,6 +31,13 @@ echo "== decision golden + proptest bit-identity =="
 # decide round must allocate nothing.
 cargo test -q -p abacus-core --test golden_decisions
 cargo test -q -p abacus-core --test decision_alloc --release
+
+echo "== routing golden + determinism contracts =="
+# The headroom router must match the embedded naive reference stream,
+# degenerate to least-connections on homogeneous pools, keep serial and
+# parallel cluster CSVs byte-identical (with and without the autoscaler),
+# score via one batched forward, and be unperturbed by telemetry.
+cargo test -q -p cluster --test routing_golden
 
 echo "== telemetry-disabled golden checksum =="
 # The telemetry-instrumented serving loop with no Telemetry attached must
