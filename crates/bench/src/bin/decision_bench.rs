@@ -260,6 +260,7 @@ mod baseline {
             entries,
             predicted_ms: best_pred,
             prediction_rounds: rounds,
+            upper_ms: None,
         })
     }
 

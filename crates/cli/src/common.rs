@@ -3,8 +3,8 @@
 
 use dnn_models::{ModelId, ModelLibrary};
 use gpu_sim::{GpuSpec, NoiseModel};
-use predictor::{persist, LatencyModel, Mlp, MlpConfig};
-use serving::{train_unified, TrainerConfig};
+use predictor::{persist, ConformalModel, LatencyModel, Mlp, MlpConfig};
+use serving::{train_certified, train_unified, TrainerConfig};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -211,6 +211,65 @@ pub fn ensure_predictor(
 /// Upcast helper.
 pub fn as_model(mlp: &Arc<Mlp>) -> Arc<dyn LatencyModel> {
     mlp.clone()
+}
+
+/// Cache path of the conformal certifier artifact for `tag` at the
+/// current scale, next to the mean model under `results/models/`.
+pub fn conformal_path(tag: &str, opts: &Options) -> PathBuf {
+    opts.out_dir
+        .join("models")
+        .join(format!("{tag}_{:?}.conformal", opts.scale).to_lowercase())
+}
+
+/// Train (or load from cache) the *certified* predictor stack for `sets`:
+/// the unified mean model plus the split-conformal upper-bound model.
+/// The two artifacts cache separately but train in one pass (the mean
+/// model of [`train_certified`] is bit-identical to [`train_unified`]'s,
+/// so the plain `.mlp` cache stays valid for every other experiment).
+/// Corrupt or missing caches degrade to a retrain, never to a failed run.
+pub fn ensure_certified(
+    tag: &str,
+    sets: &[Vec<ModelId>],
+    lib: &Arc<ModelLibrary>,
+    gpu: &GpuSpec,
+    opts: &Options,
+    alpha: f64,
+) -> (Arc<Mlp>, Arc<ConformalModel>) {
+    let mpath = model_path(tag, opts);
+    let cpath = conformal_path(tag, opts);
+    if !opts.retrain {
+        if let (Ok(mean), Ok(cert)) = (persist::load(&mpath), persist::load_conformal(&cpath)) {
+            eprintln!(
+                "[predictor] loaded cached certified stack {} + {}",
+                mpath.display(),
+                cpath.display()
+            );
+            return (Arc::new(mean), Arc::new(cert.with_alpha(alpha)));
+        }
+    }
+    eprintln!(
+        "[predictor] training certified stack '{tag}' over {} sets ({} samples x {} runs each)...",
+        sets.len(),
+        opts.scale.samples_per_set(),
+        opts.scale.runs_per_group()
+    );
+    let t0 = std::time::Instant::now();
+    let trained = train_certified(
+        sets,
+        lib,
+        gpu,
+        &NoiseModel::calibrated(),
+        &opts.trainer_config(),
+        alpha,
+    );
+    eprintln!("[predictor] certified stack trained in {:.1?}", t0.elapsed());
+    if let Err(e) = persist::save(&trained.mean, &mpath) {
+        eprintln!("[predictor] warning: could not cache mean model: {e}");
+    }
+    if let Err(e) = persist::save_conformal(&trained.certifier, &cpath) {
+        eprintln!("[predictor] warning: could not cache certifier: {e}");
+    }
+    (Arc::new(trained.mean), Arc::new(trained.certifier))
 }
 
 /// Map `f` over experiment cells, fanned out over threads when

@@ -22,6 +22,7 @@ mod fig7;
 mod mig;
 mod multiway;
 mod pairwise;
+mod pareto_cmd;
 mod summary;
 mod tables;
 mod trace_cmd;
@@ -43,6 +44,7 @@ experiments:
   analysis  latency anatomy + overlap trace (extension)
   affinity  §7.8 co-location affinity survey + service-group planning
   faults    QoS violations vs fault intensity + invariant check (extension)
+  pareto    violation rate vs throughput: fixed margin vs conformal (extension)
   trace     telemetry: Perfetto trace, decision ledger, §5.2 error sweep
   all       everything above, in order
 
@@ -85,6 +87,7 @@ fn main() {
         "affinity" => affinity_cmd::run(&opts),
         "analysis" => analysis::run(&opts),
         "faults" => faults_cmd::run(&opts),
+        "pareto" => pareto_cmd::run(&opts),
         "trace" => trace_cmd::run(&opts),
         "summary" => summary::run(&opts),
         "all" => {
@@ -105,6 +108,7 @@ fn main() {
             affinity_cmd::run(&opts);
             analysis::run(&opts);
             faults_cmd::run(&opts);
+            pareto_cmd::run(&opts);
             trace_cmd::run(&opts);
             summary::run(&opts);
         }

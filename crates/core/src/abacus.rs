@@ -21,7 +21,7 @@ use crate::query::Query;
 use crate::scheduler::{DecisionStats, RoundDecision, Scheduler};
 use crate::search::{plan_group_core, PlanOutcome, SearchBuffers};
 use dnn_models::ModelLibrary;
-use predictor::{LatencyModel, FEATURE_DIM};
+use predictor::{encode_features_with_ops, GroupEntry, LatencyModel, FEATURE_DIM};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -58,6 +58,16 @@ pub struct AbacusConfig {
     /// Off by default — with it off the controller is bit-identical to the
     /// pre-fault-layer behaviour.
     pub adaptive_margin: bool,
+    /// Opt-in (default off) conformal QoS certification: when a certifier
+    /// model has been supplied ([`AbacusScheduler::with_certifier`]) and
+    /// this flag is set, Eq. 2 feasibility is certified against the
+    /// certifier's calibrated upper bound over the **raw** headroom —
+    /// `margin_ms`/`margin_frac` are not applied, because the conformal
+    /// interval already absorbs the predictor's error tail at the
+    /// configured coverage level. Off (the default), or without a
+    /// certifier, the controller is bit-identical to the mean + margin
+    /// behaviour.
+    pub conformal: bool,
     /// Opt-in graceful degradation: when the rolling under-prediction bias
     /// exceeds this threshold — or [`FALLBACK_BARREN_ROUNDS`] consecutive
     /// rounds drop queries without planning anything (total predictor
@@ -96,6 +106,7 @@ impl Default for AbacusConfig {
             margin_ms: 0.3,
             margin_frac: 0.05,
             adaptive_margin: false,
+            conformal: false,
             fcfs_fallback_error: None,
         }
     }
@@ -138,6 +149,9 @@ pub fn calibrate_predict_round_ms(model: &dyn LatencyModel, ways: usize) -> f64 
 /// The Abacus scheduler.
 pub struct AbacusScheduler {
     model: Arc<dyn LatencyModel>,
+    /// Calibrated upper-bound model for conformal certification
+    /// ([`AbacusConfig::conformal`]); `None` keeps mean + margin planning.
+    certifier: Option<Arc<dyn LatencyModel>>,
     lib: Arc<ModelLibrary>,
     cfg: AbacusConfig,
     /// Resolved per-round prediction latency: `cfg.predict_round_ms` or the
@@ -189,6 +203,12 @@ struct DecisionScratch {
     /// otherwise it travels to the caller inside the decision and comes
     /// back through `out.group` next round.
     spare_entries: Vec<PlannedEntry>,
+    /// Conformal-mode re-encode buffers: the planned group's entries as
+    /// [`GroupEntry`]s, their operator counts, and one Fig. 8 feature row
+    /// for the mean-model forward. Untouched outside conformal mode.
+    cert_entries: Vec<GroupEntry>,
+    cert_ops: Vec<usize>,
+    cert_features: Vec<f64>,
 }
 
 impl DecisionScratch {
@@ -198,6 +218,9 @@ impl DecisionScratch {
             candidates: Vec::new(),
             search: SearchBuffers::new(ways),
             spare_entries: Vec::new(),
+            cert_entries: Vec::new(),
+            cert_ops: Vec::new(),
+            cert_features: vec![0.0; FEATURE_DIM],
         }
     }
 }
@@ -206,6 +229,22 @@ impl AbacusScheduler {
     /// Create a controller using `model` as the overlap-aware latency
     /// predictor.
     pub fn new(model: Arc<dyn LatencyModel>, lib: Arc<ModelLibrary>, cfg: AbacusConfig) -> Self {
+        Self::with_certifier(model, None, lib, cfg)
+    }
+
+    /// Create a controller with an optional conformal certifier: when
+    /// `certifier` is supplied **and** [`AbacusConfig::conformal`] is set,
+    /// groups are certified against the certifier's calibrated upper bound
+    /// over the raw headroom (no safety margin), while `model` keeps
+    /// producing the mean `predicted_ms` the telemetry ledger and the
+    /// error EWMA are defined on. With `certifier == None` or the flag
+    /// off, behaviour is bit-identical to [`AbacusScheduler::new`].
+    pub fn with_certifier(
+        model: Arc<dyn LatencyModel>,
+        certifier: Option<Arc<dyn LatencyModel>>,
+        lib: Arc<ModelLibrary>,
+        cfg: AbacusConfig,
+    ) -> Self {
         assert!(cfg.ways >= 1);
         let predict_round_ms = cfg
             .predict_round_ms
@@ -213,6 +252,7 @@ impl AbacusScheduler {
         let scratch = DecisionScratch::new(cfg.ways);
         Self {
             model,
+            certifier,
             lib,
             cfg,
             predict_round_ms,
@@ -279,6 +319,37 @@ impl AbacusScheduler {
         }
     }
 
+    /// Mean-model prediction for an already-planned group: resolve the
+    /// planned entries against the queue, encode one Fig. 8 feature row
+    /// and run a single mean forward. Conformal mode plans against the
+    /// certifier's upper bound, but `predicted_ms` — what the telemetry
+    /// ledger joins on and the error EWMA is defined against — stays the
+    /// mean model's estimate.
+    fn mean_of_plan(&mut self, entries: &[PlannedEntry], queue: &[Query]) -> f64 {
+        let scratch = &mut self.scratch;
+        scratch.cert_entries.clear();
+        scratch.cert_ops.clear();
+        for e in entries {
+            let q = queue
+                .iter()
+                .find(|q| q.id == e.query_id)
+                .expect("planned query present in queue");
+            scratch.cert_entries.push(GroupEntry {
+                model: q.model,
+                op_start: e.op_start,
+                op_end: e.op_end,
+                input: q.input,
+            });
+            scratch.cert_ops.push(q.n_ops);
+        }
+        encode_features_with_ops(
+            &scratch.cert_entries,
+            &scratch.cert_ops,
+            &mut scratch.cert_features[..FEATURE_DIM],
+        );
+        self.model.predict_one(&scratch.cert_features[..FEATURE_DIM])
+    }
+
     /// FCFS degradation dispatch: earliest arrival runs alone, no
     /// predictions consulted, the baseline drop mechanism retained.
     /// `entries_buf` is the recycled entry buffer `decide_into` took from
@@ -315,6 +386,7 @@ impl AbacusScheduler {
                     entries: entries_buf,
                     predicted_ms: 0.0,
                     prediction_rounds: 0,
+                    upper_ms: None,
                 });
             }
             None => self.scratch.spare_entries = entries_buf,
@@ -339,6 +411,14 @@ impl Scheduler for AbacusScheduler {
         let margin_ms = self.cfg.margin_ms;
         let margin_frac = self.effective_margin_frac();
         let ways = self.cfg.ways;
+        // Conformal certification: plan against the certifier's calibrated
+        // upper bound over the *raw* headroom — the interval already holds
+        // the error tail, so no margin is stacked on top.
+        let certifying = self.cfg.conformal && self.certifier.is_some();
+        let planning_model: &dyn LatencyModel = match &self.certifier {
+            Some(c) if certifying => c.as_ref(),
+            _ => self.model.as_ref(),
+        };
 
         // Ascending `(deadline, id)` ranks — the same permutation the
         // former per-round headroom sort produced (the order key is
@@ -381,12 +461,16 @@ impl Scheduler for AbacusScheduler {
         while start < candidates.len() {
             let cands = &candidates[start..];
             let head = &queue[cands[0]];
-            let budget = (head.headroom_ms(now_ms) - margin_ms) / (1.0 + margin_frac);
+            let budget = if certifying {
+                head.headroom_ms(now_ms)
+            } else {
+                (head.headroom_ms(now_ms) - margin_ms) / (1.0 + margin_frac)
+            };
             match plan_group_core(
                 |i| &queue[cands[i]],
                 cands.len(),
                 budget,
-                self.model.as_ref(),
+                planning_model,
                 &self.lib,
                 ways,
                 search,
@@ -443,10 +527,21 @@ impl Scheduler for AbacusScheduler {
         };
         match planned_pred {
             Some(predicted_ms) => {
+                let (predicted_ms, upper_ms) = if certifying {
+                    // The search certified against the upper bound; report
+                    // the mean model's estimate as `predicted_ms` so the
+                    // ledger join and the error EWMA keep their semantics.
+                    let mean = self.mean_of_plan(&entries_buf, queue);
+                    self.last_predicted_ms = Some(mean);
+                    (mean, Some(predicted_ms))
+                } else {
+                    (predicted_ms, None)
+                };
                 out.group = Some(PlannedGroup {
                     entries: entries_buf,
                     predicted_ms,
                     prediction_rounds,
+                    upper_ms,
                 });
             }
             None => self.scratch.spare_entries = entries_buf,
@@ -742,6 +837,74 @@ mod tests {
             let _ = s.decide(0.0, &queue);
         }
         assert!(!s.is_degraded());
+    }
+
+    fn conformal(certifier: Option<Arc<dyn LatencyModel>>, enabled: bool) -> AbacusScheduler {
+        AbacusScheduler::with_certifier(
+            Arc::new(SpanModel),
+            certifier,
+            Arc::new(ModelLibrary::new()),
+            AbacusConfig {
+                predict_round_ms: Some(0.08),
+                conformal: enabled,
+                ..AbacusConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn conformal_mode_plans_against_certifier_and_reports_mean() {
+        // Certifier = mean × 1.5 (a constant-width interval): planning uses
+        // the inflated bound, but `predicted_ms` stays the mean estimate.
+        let certifier: Arc<dyn LatencyModel> =
+            Arc::new(predictor::DeratedModel::new(Arc::new(SpanModel), 1.5));
+        let mut s = conformal(Some(certifier), true);
+        let queue = vec![query(1, ModelId::ResNet50, 0.0, 100.0)];
+        let d = s.decide(5.0, &queue);
+        let g = d.group.unwrap();
+        let upper = g.upper_ms.expect("certified bound recorded");
+        assert!(
+            (upper - g.predicted_ms * 1.5).abs() < 1e-9,
+            "upper {upper} vs mean {}",
+            g.predicted_ms
+        );
+    }
+
+    #[test]
+    fn conformal_budget_is_raw_headroom() {
+        // ResNet50 costs 10 ms solo under SpanModel. With 10.2 ms headroom
+        // the fixed-margin budget (10.2 − 0.3)/1.05 ≈ 9.43 drops the query;
+        // an exact certifier over the raw headroom certifies it (10 ≤ 10.2).
+        let queue = vec![query(1, ModelId::ResNet50, 0.0, 10.2)];
+        let mut margined = conformal(None, false);
+        let d = margined.decide(0.0, &queue);
+        assert_eq!(d.dropped, vec![1]);
+        assert!(d.group.is_none());
+        let mut certified = conformal(Some(Arc::new(SpanModel)), true);
+        let d = certified.decide(0.0, &queue);
+        assert!(d.dropped.is_empty());
+        let g = d.group.unwrap();
+        assert!(g.upper_ms.unwrap() <= 10.2);
+    }
+
+    #[test]
+    fn certifier_without_flag_is_inert() {
+        // A supplied certifier with the flag off — and the flag on without
+        // a certifier — must both decide bit-identically to the plain
+        // controller, with no certified bound recorded.
+        let wild: Arc<dyn LatencyModel> =
+            Arc::new(predictor::DeratedModel::new(Arc::new(SpanModel), 50.0));
+        let queue = vec![
+            query(1, ModelId::ResNet50, 0.0, 100.0),
+            query(2, ModelId::Bert, 0.0, 30.0),
+        ];
+        let mut plain = conformal(None, false);
+        let mut flag_off = conformal(Some(wild), false);
+        let mut no_certifier = conformal(None, true);
+        let want = plain.decide(5.0, &queue);
+        assert_eq!(flag_off.decide(5.0, &queue), want);
+        assert_eq!(no_certifier.decide(5.0, &queue), want);
+        assert_eq!(want.group.as_ref().unwrap().upper_ms, None);
     }
 
     #[test]

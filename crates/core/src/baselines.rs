@@ -128,6 +128,7 @@ impl Scheduler for BaselineScheduler {
                     entries: entries_buf,
                     predicted_ms: self.remaining_solo_ms(q),
                     prediction_rounds: usize::from(self.policy == BaselinePolicy::Sjf),
+                    upper_ms: None,
                 });
                 if self.policy == BaselinePolicy::Sjf {
                     // SJF's duration estimation sits on the critical path:

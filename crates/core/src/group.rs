@@ -42,6 +42,12 @@ pub struct PlannedGroup {
     /// How many batched prediction rounds the search used (for overhead
     /// accounting, Fig. 23).
     pub prediction_rounds: usize,
+    /// Calibrated upper bound (ms) the round was certified against, when
+    /// the controller ran in conformal-certification mode; `None` for
+    /// mean + safety-margin rounds. Kept as an `Option` (not a NaN
+    /// sentinel) so derived `PartialEq` stays total — the golden
+    /// decision-stream tests compare whole decisions.
+    pub upper_ms: Option<f64>,
 }
 
 impl PlannedGroup {
@@ -87,6 +93,7 @@ mod tests {
             ],
             predicted_ms: 12.0,
             prediction_rounds: 2,
+            upper_ms: None,
         };
         let spec = plan.to_spec(|id| if id == 10 { &q1 } else { &q2 }, &lib);
         assert_eq!(spec.entries.len(), 2);

@@ -129,6 +129,7 @@ pub fn plan_group(
             entries,
             predicted_ms,
             prediction_rounds,
+            upper_ms: None,
         }),
         PlanOutcome::Infeasible { prediction_rounds } => {
             SearchResult::Infeasible { prediction_rounds }
@@ -674,6 +675,7 @@ mod tests {
                 entries,
                 predicted_ms: best_pred,
                 prediction_rounds: rounds,
+                upper_ms: None,
             })
         }
     }

@@ -16,6 +16,7 @@
 //! detected from the profiling data and never deployed together.
 
 pub mod affinity;
+pub mod conformal;
 pub mod dataset;
 pub mod eval;
 pub mod features;
@@ -34,8 +35,9 @@ pub use features::{
     encode_features, encode_features_with_ops, feature_slot_of, GroupEntry, GroupSpec,
     FEATURE_DIM, MAX_COLOCATED, MODEL_SLOT_BASE, SLOT_WIDTH,
 };
+pub use conformal::{width_of_row, ConformalModel, StratifiedConformal, CERT_TAUS};
 pub use linreg::LinearRegression;
-pub use mlp::{Mlp, MlpConfig};
+pub use mlp::{Mlp, MlpConfig, QuantileMlp};
 pub use profiler::{profile_group, profile_groups, ProfiledGroup};
 pub use sampling::{all_pairs, paper_multiway_sets, sample_group, sample_groups};
 pub use svr::{LinearSvr, SvrConfig};

@@ -277,6 +277,22 @@ const EPS: f64 = 1e-8;
 /// 64-row minibatch four-way parallelism.
 const GRAD_CHUNK: usize = 16;
 
+/// Training-loss selector for the minibatch trainer. [`Loss::Mse`] and
+/// [`Loss::Pinball`] drive the width-1 output layer with exactly the
+/// arithmetic the pre-quantile-head trainer used (bit for bit — the golden
+/// trainer suite pins this); [`Loss::MultiPinball`] trains one output head
+/// per quantile, every head against the same standardised target, which is
+/// how the p90/p95/p99 certification heads share one trunk.
+#[derive(Clone, Copy)]
+enum Loss<'a> {
+    /// d(MSE)/d(out) on a single output.
+    Mse,
+    /// Pinball sub-gradient at one quantile on a single output.
+    Pinball(f64),
+    /// Per-head pinball sub-gradients: head `h` trains at `taus[h]`.
+    MultiPinball(&'a [f64]),
+}
+
 /// Per-chunk scratch and gradient partial sums for minibatch training.
 /// One lives behind a `Mutex` per chunk slot so pool workers can fill
 /// disjoint chunks concurrently; the locks are uncontended by construction
@@ -670,7 +686,7 @@ fn chunk_forward_backward(
     xs: &[f64],
     targets: &[f64],
     rows: usize,
-    quantile: Option<f64>,
+    loss: Loss<'_>,
     st: &mut ChunkGrads,
 ) {
     let n_layers = layers.len();
@@ -708,24 +724,36 @@ fn chunk_forward_backward(
             }
         }
     }
-    // The output layer has width 1: `pre[last]` holds one scalar per row.
+    // Output deltas: `pre[last]` holds `rows × out_dim` pre-activations
+    // (one scalar per row for the single-output losses).
+    let out_dim = layers[n_layers - 1].out_dim;
     let dlast = &mut delta[n_layers - 1];
-    if dlast.len() != rows {
-        dlast.resize(rows, 0.0);
+    if dlast.len() != rows * out_dim {
+        dlast.resize(rows * out_dim, 0.0);
     }
-    let outs = &pre[n_layers - 1][..rows];
-    match quantile {
+    let outs = &pre[n_layers - 1][..rows * out_dim];
+    match loss {
         // d(MSE)/d(out).
-        None => {
+        Loss::Mse => {
             for (d, (&out, &t)) in dlast.iter_mut().zip(outs.iter().zip(targets)) {
                 *d = 2.0 * (out - t);
             }
         }
         // Pinball loss sub-gradient, scaled to keep the effective learning
         // rate comparable to MSE.
-        Some(tau) => {
+        Loss::Pinball(tau) => {
             for (d, (&out, &t)) in dlast.iter_mut().zip(outs.iter().zip(targets)) {
                 *d = if out < t { -2.0 * tau } else { 2.0 * (1.0 - tau) };
+            }
+        }
+        // One pinball sub-gradient per head, all against the row's target.
+        Loss::MultiPinball(taus) => {
+            for (r, &t) in targets.iter().enumerate() {
+                for (h, &tau) in taus.iter().enumerate() {
+                    let out = outs[r * out_dim + h];
+                    dlast[r * out_dim + h] =
+                        if out < t { -2.0 * tau } else { 2.0 * (1.0 - tau) };
+                }
             }
         }
     }
@@ -767,7 +795,7 @@ fn minibatch_grads(
     xb: &[f64],
     tb: &[f64],
     in_dim: usize,
-    quantile: Option<f64>,
+    loss: Loss<'_>,
     serial: bool,
     chunk_states: &[std::sync::Mutex<ChunkGrads>],
     gw: &mut [Vec<f64>],
@@ -812,7 +840,7 @@ fn minibatch_grads(
                 &xb[lo * in_dim..hi * in_dim],
                 &tb[lo..hi],
                 hi - lo,
-                quantile,
+                loss,
                 st,
             );
             reduce(st, gw, gb);
@@ -828,7 +856,7 @@ fn minibatch_grads(
                 &xb[lo * in_dim..hi * in_dim],
                 &tb[lo..hi],
                 hi - lo,
-                quantile,
+                loss,
                 st,
             );
         };
@@ -837,6 +865,166 @@ fn minibatch_grads(
             reduce(&state.lock().unwrap(), gw, gb);
         }
     }
+}
+
+/// The shared minibatch training loop: initialise an
+/// `[in, hidden..., out_dim]` network and run `cfg.epochs` of chunked
+/// minibatch Adam under `loss`, returning the trained layers plus the
+/// target standardisation. [`Mlp::train`] calls this with `out_dim == 1`
+/// and [`QuantileMlp::train`] with one output head per quantile; for a
+/// fixed `(out_dim, loss)` the loop's arithmetic is untouched by the
+/// factoring, so the single-output golden pins still hold bit for bit.
+fn train_layers(
+    data: &Dataset,
+    cfg: &MlpConfig,
+    out_dim: usize,
+    loss: Loss<'_>,
+) -> (Vec<Dense>, f64, f64) {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    let mut rng = SeededRng::new(cfg.seed);
+    let dims: Vec<usize> = std::iter::once(data.dim())
+        .chain(cfg.hidden.iter().copied())
+        .chain(std::iter::once(out_dim))
+        .collect();
+    let mut layers: Vec<Dense> = dims
+        .windows(2)
+        .map(|w| Dense::new(w[0], w[1], &mut rng))
+        .collect();
+    let y_mean = data.y_mean();
+    let y_std = data.y_std();
+    let in_dim = data.dim();
+
+    let n = data.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let simd = Simd::detect();
+    // The chunked reduction makes weights bit-identical under any
+    // dispatch, so dispatch is a pure perf choice: skip the pool when
+    // it cannot add concurrency (single-core host: one pool worker plus
+    // the caller time-share one CPU, paying context switches per
+    // minibatch for nothing).
+    let serial = cfg.serial || rayon::pool::max_concurrency() <= 2;
+    let mut wt: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+    refresh_transposed(&layers, &mut wt);
+    let batch = cfg.batch_size.max(1);
+    let chunk_states: Vec<std::sync::Mutex<ChunkGrads>> = (0..batch.div_ceil(GRAD_CHUNK))
+        .map(|_| std::sync::Mutex::new(ChunkGrads::new(&layers)))
+        .collect();
+    let mut gw: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+    let mut gb: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+    let mut xb: Vec<f64> = Vec::with_capacity(batch * in_dim);
+    let mut tb: Vec<f64> = Vec::with_capacity(batch);
+    let mut t_step = 0usize;
+
+    for _epoch in 0..cfg.epochs {
+        rng.shuffle(&mut order);
+        for chunk in order.chunks(cfg.batch_size) {
+            xb.clear();
+            tb.clear();
+            for &i in chunk {
+                xb.extend_from_slice(&data.x[i]);
+                tb.push((data.y[i] - y_mean) / y_std);
+            }
+            minibatch_grads(
+                &layers,
+                &wt,
+                simd,
+                &xb,
+                &tb,
+                in_dim,
+                loss,
+                serial,
+                &chunk_states,
+                &mut gw,
+                &mut gb,
+            );
+            // Adam update with batch-mean gradients — the reference
+            // trainer's update element for element, run through the
+            // SIMD-dispatched kernel (see `adam_kernel` for why that
+            // is bit-identical).
+            t_step += 1;
+            let scale = 1.0 / chunk.len() as f64;
+            let bc1 = 1.0 - BETA1.powi(t_step as i32);
+            let bc2 = 1.0 - BETA2.powi(t_step as i32);
+            for (l, layer) in layers.iter_mut().enumerate() {
+                simd.adam(
+                    &mut layer.w,
+                    &mut layer.mw,
+                    &mut layer.vw,
+                    &gw[l],
+                    scale,
+                    cfg.lr,
+                    bc1,
+                    bc2,
+                );
+                simd.adam(
+                    &mut layer.b,
+                    &mut layer.mb,
+                    &mut layer.vb,
+                    &gb[l],
+                    scale,
+                    cfg.lr,
+                    bc1,
+                    bc2,
+                );
+            }
+            refresh_transposed(&layers, &mut wt);
+        }
+    }
+    (layers, y_mean, y_std)
+}
+
+/// Run the batched ping-pong forward pass through `layers`, leaving the
+/// output layer's rows packed at stride `out_dim` at the front of `ws.a`.
+/// Returns `false` when `n == 0` (nothing was forwarded). Shared by the
+/// single-output [`Mlp`] and the multi-head [`QuantileMlp`]; only the
+/// final extraction differs between the two.
+fn forward_rows_raw(
+    layers: &[Dense],
+    plan: &InferencePlan,
+    xs: &[f64],
+    n: usize,
+    ws: &mut Workspace,
+) -> bool {
+    let in_dim = layers[0].in_dim;
+    assert_eq!(
+        xs.len(),
+        n * in_dim,
+        "feature dimension mismatch — retrain the model (stale cache?)"
+    );
+    if n == 0 {
+        return false;
+    }
+    // Both ping-pong buffers stay sized to the widest layer: rows are
+    // packed at the current layer's stride inside them, and the bias
+    // initialisation below overwrites every cell that will be read, so
+    // no per-layer clear/zero-fill is needed.
+    let width = plan.max_width;
+    if ws.a.len() < n * width {
+        ws.a.resize(n * width, 0.0);
+        ws.b.resize(n * width, 0.0);
+    }
+    ws.a[..xs.len()].copy_from_slice(xs);
+    let n_layers = layers.len();
+    for (l, (layer, wt)) in layers.iter().zip(&plan.wt).enumerate() {
+        let (din, dout) = (layer.in_dim, layer.out_dim);
+        #[cfg(target_arch = "x86_64")]
+        if plan.use_avx2 {
+            // SAFETY: `use_avx2` is set only after runtime feature
+            // detection.
+            unsafe { layer_kernel_avx2(&ws.a, &mut ws.b, wt, &layer.b, n, din) };
+        } else {
+            layer_kernel(&ws.a, &mut ws.b, wt, &layer.b, n, din);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        layer_kernel(&ws.a, &mut ws.b, wt, &layer.b, n, din);
+        if l + 1 < n_layers {
+            for v in ws.b[..n * dout].iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
+        std::mem::swap(&mut ws.a, &mut ws.b);
+    }
+    true
 }
 
 impl Mlp {
@@ -859,96 +1047,11 @@ impl Mlp {
     /// # Panics
     /// Panics on an empty dataset.
     pub fn train(data: &Dataset, cfg: &MlpConfig) -> Mlp {
-        assert!(!data.is_empty(), "cannot train on an empty dataset");
-        let mut rng = SeededRng::new(cfg.seed);
-        let dims: Vec<usize> = std::iter::once(data.dim())
-            .chain(cfg.hidden.iter().copied())
-            .chain(std::iter::once(1))
-            .collect();
-        let mut layers: Vec<Dense> = dims
-            .windows(2)
-            .map(|w| Dense::new(w[0], w[1], &mut rng))
-            .collect();
-        let y_mean = data.y_mean();
-        let y_std = data.y_std();
-        let in_dim = data.dim();
-
-        let n = data.len();
-        let mut order: Vec<usize> = (0..n).collect();
-        let simd = Simd::detect();
-        // The chunked reduction makes weights bit-identical under any
-        // dispatch, so dispatch is a pure perf choice: skip the pool when
-        // it cannot add concurrency (single-core host: one pool worker plus
-        // the caller time-share one CPU, paying context switches per
-        // minibatch for nothing).
-        let serial = cfg.serial || rayon::pool::max_concurrency() <= 2;
-        let mut wt: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
-        refresh_transposed(&layers, &mut wt);
-        let batch = cfg.batch_size.max(1);
-        let chunk_states: Vec<std::sync::Mutex<ChunkGrads>> = (0..batch.div_ceil(GRAD_CHUNK))
-            .map(|_| std::sync::Mutex::new(ChunkGrads::new(&layers)))
-            .collect();
-        let mut gw: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
-        let mut gb: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
-        let mut xb: Vec<f64> = Vec::with_capacity(batch * in_dim);
-        let mut tb: Vec<f64> = Vec::with_capacity(batch);
-        let mut t_step = 0usize;
-
-        for _epoch in 0..cfg.epochs {
-            rng.shuffle(&mut order);
-            for chunk in order.chunks(cfg.batch_size) {
-                xb.clear();
-                tb.clear();
-                for &i in chunk {
-                    xb.extend_from_slice(&data.x[i]);
-                    tb.push((data.y[i] - y_mean) / y_std);
-                }
-                minibatch_grads(
-                    &layers,
-                    &wt,
-                    simd,
-                    &xb,
-                    &tb,
-                    in_dim,
-                    cfg.quantile,
-                    serial,
-                    &chunk_states,
-                    &mut gw,
-                    &mut gb,
-                );
-                // Adam update with batch-mean gradients — the reference
-                // trainer's update element for element, run through the
-                // SIMD-dispatched kernel (see `adam_kernel` for why that
-                // is bit-identical).
-                t_step += 1;
-                let scale = 1.0 / chunk.len() as f64;
-                let bc1 = 1.0 - BETA1.powi(t_step as i32);
-                let bc2 = 1.0 - BETA2.powi(t_step as i32);
-                for (l, layer) in layers.iter_mut().enumerate() {
-                    simd.adam(
-                        &mut layer.w,
-                        &mut layer.mw,
-                        &mut layer.vw,
-                        &gw[l],
-                        scale,
-                        cfg.lr,
-                        bc1,
-                        bc2,
-                    );
-                    simd.adam(
-                        &mut layer.b,
-                        &mut layer.mb,
-                        &mut layer.vb,
-                        &gb[l],
-                        scale,
-                        cfg.lr,
-                        bc1,
-                        bc2,
-                    );
-                }
-                refresh_transposed(&layers, &mut wt);
-            }
-        }
+        let loss = match cfg.quantile {
+            None => Loss::Mse,
+            Some(tau) => Loss::Pinball(tau),
+        };
+        let (layers, y_mean, y_std) = train_layers(data, cfg, 1, loss);
         Mlp::assemble(layers, y_mean, y_std)
     }
 
@@ -1108,44 +1211,8 @@ impl Mlp {
     /// [`Dense::forward`] does, so batched and scalar predictions agree
     /// bit for bit.
     fn forward_rows(&self, xs: &[f64], n: usize, ws: &mut Workspace, out: &mut Vec<f64>) {
-        let in_dim = self.layers[0].in_dim;
-        assert_eq!(
-            xs.len(),
-            n * in_dim,
-            "feature dimension mismatch — retrain the model (stale cache?)"
-        );
-        if n == 0 {
+        if !forward_rows_raw(&self.layers, &self.plan, xs, n, ws) {
             return;
-        }
-        // Both ping-pong buffers stay sized to the widest layer: rows are
-        // packed at the current layer's stride inside them, and the bias
-        // initialisation below overwrites every cell that will be read, so
-        // no per-layer clear/zero-fill is needed.
-        let width = self.plan.max_width;
-        if ws.a.len() < n * width {
-            ws.a.resize(n * width, 0.0);
-            ws.b.resize(n * width, 0.0);
-        }
-        ws.a[..xs.len()].copy_from_slice(xs);
-        let n_layers = self.layers.len();
-        for (l, (layer, wt)) in self.layers.iter().zip(&self.plan.wt).enumerate() {
-            let (din, dout) = (layer.in_dim, layer.out_dim);
-            #[cfg(target_arch = "x86_64")]
-            if self.plan.use_avx2 {
-                // SAFETY: `use_avx2` is set only after runtime feature
-                // detection.
-                unsafe { layer_kernel_avx2(&ws.a, &mut ws.b, wt, &layer.b, n, din) };
-            } else {
-                layer_kernel(&ws.a, &mut ws.b, wt, &layer.b, n, din);
-            }
-            #[cfg(not(target_arch = "x86_64"))]
-            layer_kernel(&ws.a, &mut ws.b, wt, &layer.b, n, din);
-            if l + 1 < n_layers {
-                for v in ws.b[..n * dout].iter_mut() {
-                    *v = v.max(0.0);
-                }
-            }
-            std::mem::swap(&mut ws.a, &mut ws.b);
         }
         // The output layer has width 1: `a` now holds one scalar per row.
         out.extend(
@@ -1287,6 +1354,307 @@ impl LatencyModel for Mlp {
     }
 }
 
+/// A multi-head quantile model: one shared trunk with one output head per
+/// quantile, trained jointly under per-head pinball losses
+/// ([`Loss::MultiPinball`]). The certification pipeline trains the
+/// p90/p95/p99 heads this way and conformally calibrates them (see
+/// `conformal`); a three-head 3×32 net costs the same trunk forward as the
+/// mean predictor plus two extra output dot products.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileMlp {
+    layers: Vec<Dense>,
+    /// Target standardisation (same convention as [`Mlp`]).
+    y_mean: f64,
+    y_std: f64,
+    /// Quantile levels per head, strictly ascending in `(0, 1)`.
+    taus: Vec<f64>,
+    plan: InferencePlan,
+}
+
+/// Validate a quantile-head configuration: non-empty, each level in
+/// `(0, 1)`, strictly ascending.
+fn check_taus(taus: &[f64]) {
+    assert!(!taus.is_empty(), "need at least one quantile head");
+    for pair in taus.windows(2) {
+        assert!(pair[0] < pair[1], "quantile levels must be strictly ascending");
+    }
+    for &t in taus {
+        assert!(t > 0.0 && t < 1.0, "quantile level {t} outside (0, 1)");
+    }
+}
+
+impl QuantileMlp {
+    /// Train the quantile heads on `data`.
+    ///
+    /// Exactly [`Mlp::train`]'s deterministic chunked minibatch loop with a
+    /// `taus.len()`-wide output layer and per-head pinball gradients —
+    /// weights are bit-identical at any worker count for the same reason
+    /// (fixed [`GRAD_CHUNK`] split, chunk-index reduction order).
+    /// `cfg.quantile` is ignored: the heads' levels come from `taus`.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or an invalid `taus` (see [`check_taus`]).
+    pub fn train(data: &Dataset, cfg: &MlpConfig, taus: &[f64]) -> QuantileMlp {
+        check_taus(taus);
+        let (layers, y_mean, y_std) =
+            train_layers(data, cfg, taus.len(), Loss::MultiPinball(taus));
+        QuantileMlp::assemble(layers, y_mean, y_std, taus.to_vec())
+    }
+
+    /// Scalar per-sample reference trainer for the quantile heads — the
+    /// multi-head analogue of [`Mlp::train_reference`], and the golden
+    /// oracle the quantile trainer tests compare [`QuantileMlp::train`]
+    /// against. Not used by production paths.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or an invalid `taus`.
+    #[allow(clippy::needless_range_loop)]
+    pub fn train_reference(data: &Dataset, cfg: &MlpConfig, taus: &[f64]) -> QuantileMlp {
+        check_taus(taus);
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let n_heads = taus.len();
+        let mut rng = SeededRng::new(cfg.seed);
+        let dims: Vec<usize> = std::iter::once(data.dim())
+            .chain(cfg.hidden.iter().copied())
+            .chain(std::iter::once(n_heads))
+            .collect();
+        let mut layers: Vec<Dense> = dims
+            .windows(2)
+            .map(|w| Dense::new(w[0], w[1], &mut rng))
+            .collect();
+        let y_mean = data.y_mean();
+        let y_std = data.y_std();
+
+        let n = data.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let n_layers = layers.len();
+        let mut acts: Vec<Vec<f64>> = vec![Vec::new(); n_layers + 1];
+        let mut pre: Vec<Vec<f64>> = vec![Vec::new(); n_layers];
+        let mut deltas: Vec<Vec<f64>> = vec![Vec::new(); n_layers];
+        let mut gw: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+        let mut gb: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+        let mut t_step = 0usize;
+
+        for _epoch in 0..cfg.epochs {
+            rng.shuffle(&mut order);
+            for chunk in order.chunks(cfg.batch_size) {
+                for g in gw.iter_mut() {
+                    g.iter_mut().for_each(|v| *v = 0.0);
+                }
+                for g in gb.iter_mut() {
+                    g.iter_mut().for_each(|v| *v = 0.0);
+                }
+                for &i in chunk {
+                    let target = (data.y[i] - y_mean) / y_std;
+                    // Forward.
+                    acts[0].clear();
+                    acts[0].extend_from_slice(&data.x[i]);
+                    for (l, layer) in layers.iter().enumerate() {
+                        let (head, tail) = acts.split_at_mut(l + 1);
+                        layer.forward(&head[l], &mut pre[l]);
+                        tail[0].clear();
+                        if l + 1 < n_layers {
+                            tail[0].extend(pre[l].iter().map(|&v| v.max(0.0)));
+                        } else {
+                            tail[0].extend_from_slice(&pre[l]);
+                        }
+                    }
+                    // Per-head pinball sub-gradients against the shared
+                    // target.
+                    deltas[n_layers - 1].clear();
+                    for (h, &tau) in taus.iter().enumerate() {
+                        let out = acts[n_layers][h];
+                        deltas[n_layers - 1].push(if out < target {
+                            -2.0 * tau
+                        } else {
+                            2.0 * (1.0 - tau)
+                        });
+                    }
+                    // Backward (identical to the single-output reference).
+                    for l in (0..n_layers).rev() {
+                        let layer = &layers[l];
+                        for o in 0..layer.out_dim {
+                            let d = deltas[l][o];
+                            gb[l][o] += d;
+                            let grow = &mut gw[l][o * layer.in_dim..(o + 1) * layer.in_dim];
+                            for (gv, &a) in grow.iter_mut().zip(&acts[l]) {
+                                *gv += d * a;
+                            }
+                        }
+                        if l > 0 {
+                            let (lo, hi) = deltas.split_at_mut(l);
+                            let dl = &hi[0];
+                            let prev = &mut lo[l - 1];
+                            prev.clear();
+                            prev.resize(layer.in_dim, 0.0);
+                            for o in 0..layer.out_dim {
+                                let d = dl[o];
+                                let row = &layer.w[o * layer.in_dim..(o + 1) * layer.in_dim];
+                                for (p, &w) in prev.iter_mut().zip(row) {
+                                    *p += d * w;
+                                }
+                            }
+                            for (p, &z) in prev.iter_mut().zip(&pre[l - 1]) {
+                                if z <= 0.0 {
+                                    *p = 0.0;
+                                }
+                            }
+                        }
+                    }
+                }
+                // Adam update with batch-mean gradients.
+                t_step += 1;
+                let scale = 1.0 / chunk.len() as f64;
+                let bc1 = 1.0 - BETA1.powi(t_step as i32);
+                let bc2 = 1.0 - BETA2.powi(t_step as i32);
+                for (l, layer) in layers.iter_mut().enumerate() {
+                    for (j, g) in gw[l].iter().enumerate() {
+                        let g = g * scale;
+                        layer.mw[j] = BETA1 * layer.mw[j] + (1.0 - BETA1) * g;
+                        layer.vw[j] = BETA2 * layer.vw[j] + (1.0 - BETA2) * g * g;
+                        layer.w[j] -= cfg.lr * (layer.mw[j] / bc1) / ((layer.vw[j] / bc2).sqrt() + EPS);
+                    }
+                    for (j, g) in gb[l].iter().enumerate() {
+                        let g = g * scale;
+                        layer.mb[j] = BETA1 * layer.mb[j] + (1.0 - BETA1) * g;
+                        layer.vb[j] = BETA2 * layer.vb[j] + (1.0 - BETA2) * g * g;
+                        layer.b[j] -= cfg.lr * (layer.mb[j] / bc1) / ((layer.vb[j] / bc2).sqrt() + EPS);
+                    }
+                }
+            }
+        }
+        QuantileMlp::assemble(layers, y_mean, y_std, taus.to_vec())
+    }
+
+    fn assemble(layers: Vec<Dense>, y_mean: f64, y_std: f64, taus: Vec<f64>) -> QuantileMlp {
+        let plan = InferencePlan::build(&layers);
+        QuantileMlp {
+            layers,
+            y_mean,
+            y_std,
+            taus,
+            plan,
+        }
+    }
+
+    /// The quantile levels, one per head, ascending.
+    pub fn taus(&self) -> &[f64] {
+        &self.taus
+    }
+
+    /// Number of output heads.
+    pub fn n_heads(&self) -> usize {
+        self.taus.len()
+    }
+
+    /// Batched multi-head prediction: `n` feature rows packed in `xs`,
+    /// `n × n_heads` quantile predictions (ms, row-major, head-minor)
+    /// appended to `out` (cleared first). Runs the same allocation-free
+    /// batched kernels as [`Mlp::predict_into`].
+    ///
+    /// Heads are trained independently, so raw quantile curves can cross;
+    /// the returned quantiles are rearranged monotone per row (running max
+    /// in tau order), which the conformal calibration and the monotonicity
+    /// guarantee `q_p90 ≤ q_p95 ≤ q_p99` both rely on. Predictions are
+    /// clamped non-negative like the mean model's.
+    pub fn predict_quantiles_into(&self, xs: &[f64], n: usize, out: &mut Vec<f64>) {
+        out.clear();
+        WORKSPACE.with(|cell| {
+            let ws = &mut *cell.borrow_mut();
+            if !forward_rows_raw(&self.layers, &self.plan, xs, n, ws) {
+                return;
+            }
+            let h = self.taus.len();
+            out.reserve(n * h);
+            for row in ws.a[..n * h].chunks_exact(h) {
+                let mut hi = f64::NEG_INFINITY;
+                for &z in row {
+                    let q = (z * self.y_std + self.y_mean).max(0.0);
+                    hi = hi.max(q);
+                    out.push(hi);
+                }
+            }
+        });
+    }
+
+    /// All heads for one feature row (see [`predict_quantiles_into`]).
+    ///
+    /// [`predict_quantiles_into`]: QuantileMlp::predict_quantiles_into
+    pub fn predict_quantiles_one(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.taus.len());
+        self.predict_quantiles_into(x, 1, &mut out);
+        out
+    }
+
+    /// Layer widths `[in, hidden..., n_heads]` (for persistence).
+    pub fn dims(&self) -> Vec<usize> {
+        let mut dims: Vec<usize> = self.layers.iter().map(|l| l.in_dim).collect();
+        dims.push(self.taus.len());
+        dims
+    }
+
+    /// Number of parameters (weights + biases).
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+
+    pub(crate) fn target_scaling(&self) -> (f64, f64) {
+        (self.y_mean, self.y_std)
+    }
+
+    /// Flatten every layer's weights then biases, in layer order — the
+    /// layout [`QuantileMlp::from_raw`] accepts and persistence stores.
+    pub fn raw_params(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for l in &self.layers {
+            out.extend_from_slice(&l.w);
+            out.extend_from_slice(&l.b);
+        }
+        out
+    }
+
+    pub(crate) fn from_raw(
+        dims: &[usize],
+        params: &[f64],
+        y_mean: f64,
+        y_std: f64,
+        taus: Vec<f64>,
+    ) -> Result<QuantileMlp, String> {
+        if dims.len() < 2 {
+            return Err("need at least input and output dims".into());
+        }
+        if *dims.last().unwrap() != taus.len() {
+            return Err("output width does not match quantile head count".into());
+        }
+        if taus.is_empty()
+            || taus.windows(2).any(|p| p[0] >= p[1])
+            || taus.iter().any(|&t| !(t > 0.0 && t < 1.0))
+        {
+            return Err("invalid quantile levels".into());
+        }
+        let mut rng = SeededRng::new(0);
+        let mut layers = Vec::new();
+        let mut off = 0;
+        for w in dims.windows(2) {
+            let mut layer = Dense::new(w[0], w[1], &mut rng);
+            let nw = layer.w.len();
+            let nb = layer.b.len();
+            if off + nw + nb > params.len() {
+                return Err("parameter blob too short".into());
+            }
+            layer.w.copy_from_slice(&params[off..off + nw]);
+            off += nw;
+            layer.b.copy_from_slice(&params[off..off + nb]);
+            off += nb;
+            layers.push(layer);
+        }
+        if off != params.len() {
+            return Err("parameter blob too long".into());
+        }
+        Ok(QuantileMlp::assemble(layers, y_mean, y_std, taus))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1301,7 +1669,7 @@ mod tests {
         xs: &[f64],
         targets: &[f64],
         in_dim: usize,
-        quantile: Option<f64>,
+        loss: Loss<'_>,
     ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
         let n_layers = layers.len();
         let mut acts: Vec<Vec<f64>> = vec![Vec::new(); n_layers + 1];
@@ -1322,19 +1690,24 @@ mod tests {
                     tail[0].extend_from_slice(&pre[l]);
                 }
             }
-            let out = acts[n_layers][0];
-            let dloss = match quantile {
-                None => 2.0 * (out - target),
-                Some(tau) => {
-                    if out < target {
-                        -2.0 * tau
-                    } else {
-                        2.0 * (1.0 - tau)
+            deltas[n_layers - 1].clear();
+            match loss {
+                Loss::Mse => deltas[n_layers - 1].push(2.0 * (acts[n_layers][0] - target)),
+                Loss::Pinball(tau) => deltas[n_layers - 1].push(if acts[n_layers][0] < target {
+                    -2.0 * tau
+                } else {
+                    2.0 * (1.0 - tau)
+                }),
+                Loss::MultiPinball(taus) => {
+                    for (h, &tau) in taus.iter().enumerate() {
+                        deltas[n_layers - 1].push(if acts[n_layers][h] < target {
+                            -2.0 * tau
+                        } else {
+                            2.0 * (1.0 - tau)
+                        });
                     }
                 }
-            };
-            deltas[n_layers - 1].clear();
-            deltas[n_layers - 1].push(dloss);
+            }
             for l in (0..n_layers).rev() {
                 let layer = &layers[l];
                 for o in 0..layer.out_dim {
@@ -1374,7 +1747,7 @@ mod tests {
         xs: &[f64],
         targets: &[f64],
         in_dim: usize,
-        quantile: Option<f64>,
+        loss: Loss<'_>,
         serial: bool,
     ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
         let mut wt: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
@@ -1391,7 +1764,7 @@ mod tests {
             xs,
             targets,
             in_dim,
-            quantile,
+            loss,
             serial,
             &states,
             &mut gw,
@@ -1405,20 +1778,32 @@ mod tests {
 
         /// The batched chunked gradient pipeline agrees with the scalar
         /// per-sample reference to 1e-9 across random layer shapes, batch
-        /// sizes and both losses — and its serial and pooled dispatch paths
-        /// agree with each other bit for bit.
+        /// sizes and all three losses (MSE, single pinball, multi-head
+        /// pinball) — and its serial and pooled dispatch paths agree with
+        /// each other bit for bit.
         #[test]
         fn minibatch_grads_match_scalar_reference(
             seed in 0u64..1024,
             in_dim in 1usize..6,
             hidden in proptest::collection::vec(1usize..9, 0..3),
             rows in 1usize..41,
-            tau in (0usize..2, 0.05f64..0.95).prop_map(|(m, t)| (m == 1).then_some(t)),
+            mode in 0usize..3,
+            tau in 0.05f64..0.95,
+            n_heads in 1usize..5,
         ) {
+            let taus: Vec<f64> = (1..=n_heads)
+                .map(|h| 0.5 + 0.45 * h as f64 / n_heads as f64)
+                .collect();
+            let loss = match mode {
+                0 => Loss::Mse,
+                1 => Loss::Pinball(tau),
+                _ => Loss::MultiPinball(&taus),
+            };
+            let out_dim = if mode == 2 { taus.len() } else { 1 };
             let mut rng = SeededRng::new(seed);
             let dims: Vec<usize> = std::iter::once(in_dim)
                 .chain(hidden)
-                .chain(std::iter::once(1))
+                .chain(std::iter::once(out_dim))
                 .collect();
             let layers: Vec<Dense> = dims
                 .windows(2)
@@ -1431,9 +1816,9 @@ mod tests {
                 .collect();
             let targets: Vec<f64> = (0..rows).map(|_| 2.0 * rng.f64() - 1.0).collect();
 
-            let (sgw, sgb) = scalar_grads(&layers, &xs, &targets, in_dim, tau);
-            let (gw_ser, gb_ser) = run_minibatch(&layers, &xs, &targets, in_dim, tau, true);
-            let (gw_par, gb_par) = run_minibatch(&layers, &xs, &targets, in_dim, tau, false);
+            let (sgw, sgb) = scalar_grads(&layers, &xs, &targets, in_dim, loss);
+            let (gw_ser, gb_ser) = run_minibatch(&layers, &xs, &targets, in_dim, loss, true);
+            let (gw_par, gb_par) = run_minibatch(&layers, &xs, &targets, in_dim, loss, false);
 
             prop_assert_eq!(&gw_ser, &gw_par, "serial vs pooled weight grads");
             prop_assert_eq!(&gb_ser, &gb_par, "serial vs pooled bias grads");
@@ -1550,6 +1935,95 @@ mod tests {
             .count();
         let frac = covered as f64 / d.len() as f64;
         assert!((0.80..0.97).contains(&frac), "coverage {frac}");
+    }
+
+    /// Noisy linear data for the quantile-head tests.
+    fn noisy(n: usize, seed: u64) -> Dataset {
+        let mut rng = SeededRng::new(seed);
+        let mut d = Dataset::new();
+        for _ in 0..n {
+            let x = rng.f64();
+            let y = 20.0 + 10.0 * x + 2.0 * rng.normal();
+            d.push(vec![x], y.max(0.1));
+        }
+        d
+    }
+
+    #[test]
+    fn quantile_heads_are_monotone_and_cover() {
+        let d = noisy(3000, 9);
+        let q = QuantileMlp::train(
+            &d,
+            &MlpConfig {
+                epochs: 40,
+                ..MlpConfig::default()
+            },
+            &[0.9, 0.95, 0.99],
+        );
+        assert_eq!(q.n_heads(), 3);
+        // Monotone per row by construction, and batched == scalar path.
+        let mut packed = Vec::new();
+        for i in 0..20 {
+            packed.push(i as f64 / 20.0);
+        }
+        let mut out = Vec::new();
+        q.predict_quantiles_into(&packed, 20, &mut out);
+        for (r, row) in out.chunks_exact(3).enumerate() {
+            assert!(row[0] <= row[1] && row[1] <= row[2], "row {r}: {row:?}");
+            assert_eq!(row, &q.predict_quantiles_one(&[r as f64 / 20.0])[..]);
+        }
+        // Each head covers at least its level minus slack on the train set
+        // (pinball loss pulls coverage toward tau).
+        for (h, (&tau, floor)) in q.taus().iter().zip([0.80, 0.85, 0.90]).enumerate() {
+            let covered = d
+                .x
+                .iter()
+                .zip(&d.y)
+                .filter(|(x, &y)| q.predict_quantiles_one(x)[h] >= y)
+                .count();
+            let frac = covered as f64 / d.len() as f64;
+            assert!(frac >= floor, "head {h} (tau {tau}) coverage {frac}");
+        }
+    }
+
+    #[test]
+    fn quantile_training_is_deterministic() {
+        let d = noisy(200, 4);
+        let cfg = MlpConfig {
+            epochs: 5,
+            ..MlpConfig::default()
+        };
+        let a = QuantileMlp::train(&d, &cfg, &[0.9, 0.95, 0.99]);
+        let b = QuantileMlp::train(&d, &cfg, &[0.9, 0.95, 0.99]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quantile_raw_roundtrip() {
+        let d = noisy(100, 6);
+        let q = QuantileMlp::train(
+            &d,
+            &MlpConfig {
+                epochs: 3,
+                ..MlpConfig::default()
+            },
+            &[0.9, 0.95],
+        );
+        let rebuilt = QuantileMlp::from_raw(
+            &q.dims(),
+            &q.raw_params(),
+            q.y_mean,
+            q.y_std,
+            q.taus().to_vec(),
+        )
+        .unwrap();
+        for i in 0..10 {
+            let x = [i as f64 / 10.0];
+            assert_eq!(q.predict_quantiles_one(&x), rebuilt.predict_quantiles_one(&x));
+        }
+        assert_eq!(q.dims(), rebuilt.dims());
+        // A head-count mismatch is an error, not a panic.
+        assert!(QuantileMlp::from_raw(&q.dims(), &q.raw_params(), 0.0, 1.0, vec![0.9]).is_err());
     }
 
     #[test]

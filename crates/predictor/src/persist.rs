@@ -6,13 +6,21 @@
 //! header lines with dimensions and target scaling, then one parameter per
 //! line — so the artifact is inspectable and diffable.
 
-use crate::mlp::Mlp;
+use crate::conformal::{ConformalModel, StratifiedConformal};
+use crate::features::MAX_COLOCATED;
+use crate::mlp::{Mlp, QuantileMlp};
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
 /// Magic first line of the format.
 const MAGIC: &str = "abacus-mlp-v1";
+
+/// Magic first line of the quantile-heads format.
+const QMAGIC: &str = "abacus-qmlp-v1";
+
+/// Magic first line of the conformal-certifier format.
+const CMAGIC: &str = "abacus-conf-v1";
 
 /// Serialise an MLP to a string.
 pub fn to_string(mlp: &Mlp) -> String {
@@ -88,6 +96,181 @@ pub fn load_or_else(path: impl AsRef<Path>, build: impl FnOnce() -> Mlp) -> (Mlp
         Ok(m) => (m, true),
         Err(_) => (build(), false),
     }
+}
+
+/// Serialise quantile heads to a string: magic, dims, quantile levels,
+/// target scaling, one parameter per line — the [`to_string`] layout plus
+/// a taus line.
+pub fn quantile_to_string(q: &QuantileMlp) -> String {
+    let (y_mean, y_std) = q.target_scaling();
+    let dims = q.dims();
+    let mut out = String::new();
+    out.push_str(QMAGIC);
+    out.push('\n');
+    out.push_str(&dims.iter().map(ToString::to_string).collect::<Vec<_>>().join(" "));
+    out.push('\n');
+    out.push_str(&q.taus().iter().map(|t| format!("{t:e}")).collect::<Vec<_>>().join(" "));
+    out.push('\n');
+    out.push_str(&format!("{y_mean:e} {y_std:e}\n"));
+    for p in q.raw_params() {
+        out.push_str(&format!("{p:e}\n"));
+    }
+    out
+}
+
+/// Parse one whitespace-separated line of `f64`s.
+fn parse_f64_line(line: &str, what: &str) -> Result<Vec<f64>, String> {
+    line.split_whitespace()
+        .map(|t| t.parse().map_err(|e| format!("bad {what}: {e}")))
+        .collect()
+}
+
+/// Parse quantile heads from the [`quantile_to_string`] format.
+pub fn quantile_from_str(s: &str) -> Result<QuantileMlp, String> {
+    let mut lines = s.lines();
+    match lines.next() {
+        Some(l) if l == QMAGIC => {}
+        other => return Err(format!("bad magic: {other:?}")),
+    }
+    let dims: Vec<usize> = lines
+        .next()
+        .ok_or("missing dims line")?
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|e| format!("bad dim: {e}")))
+        .collect::<Result<_, String>>()?;
+    let taus = parse_f64_line(lines.next().ok_or("missing taus line")?, "tau")?;
+    let scaling = parse_f64_line(lines.next().ok_or("missing scaling line")?, "scaling")?;
+    let [y_mean, y_std] = scaling[..] else {
+        return Err("scaling line needs y_mean and y_std".into());
+    };
+    let params: Vec<f64> = lines
+        .map(|l| l.trim().parse().map_err(|e| format!("bad param: {e}")))
+        .collect::<Result<_, String>>()?;
+    QuantileMlp::from_raw(&dims, &params, y_mean, y_std, taus)
+}
+
+/// Save quantile heads to a file, creating parent directories.
+pub fn save_quantile(q: &QuantileMlp, path: impl AsRef<Path>) -> io::Result<()> {
+    write_artifact(path.as_ref(), &quantile_to_string(q))
+}
+
+/// Load quantile heads from a file.
+pub fn load_quantile(path: impl AsRef<Path>) -> Result<QuantileMlp, String> {
+    let text = fs::read_to_string(path).map_err(|e| e.to_string())?;
+    quantile_from_str(&text)
+}
+
+/// [`load_or_else`] for quantile heads: any cache failure — missing file,
+/// bad magic, truncation, corrupt levels — degrades to `build`.
+pub fn load_quantile_or_else(
+    path: impl AsRef<Path>,
+    build: impl FnOnce() -> QuantileMlp,
+) -> (QuantileMlp, bool) {
+    match load_quantile(path) {
+        Ok(q) => (q, true),
+        Err(_) => (build(), false),
+    }
+}
+
+/// Serialise a conformal certifier to a string: magic, certification
+/// alpha, the per-width-stratum calibration table (counts, one correction
+/// row per stratum, the pooled row), then the embedded quantile heads in
+/// the [`quantile_to_string`] layout. One self-contained artifact — the
+/// certifier never loads half-matched heads and table.
+pub fn conformal_to_string(model: &ConformalModel) -> String {
+    let conf = model.conformal();
+    let mut out = String::new();
+    out.push_str(CMAGIC);
+    out.push('\n');
+    out.push_str(&format!("{:e}\n", model.alpha()));
+    let counts: Vec<String> = (1..=MAX_COLOCATED)
+        .map(|w| conf.stratum_count(w).to_string())
+        .collect();
+    out.push_str(&counts.join(" "));
+    out.push('\n');
+    let n_heads = conf.taus().len();
+    for w in 1..=MAX_COLOCATED {
+        let row: Vec<String> = (0..n_heads).map(|h| format!("{:e}", conf.correction(w, h))).collect();
+        out.push_str(&row.join(" "));
+        out.push('\n');
+    }
+    let pooled: Vec<String> = (0..n_heads)
+        .map(|h| format!("{:e}", conf.pooled_correction(h)))
+        .collect();
+    out.push_str(&pooled.join(" "));
+    out.push('\n');
+    out.push_str(&quantile_to_string(model.heads()));
+    out
+}
+
+/// Parse a conformal certifier from the [`conformal_to_string`] format.
+pub fn conformal_from_str(s: &str) -> Result<ConformalModel, String> {
+    let mut lines = s.lines();
+    match lines.next() {
+        Some(l) if l == CMAGIC => {}
+        other => return Err(format!("bad magic: {other:?}")),
+    }
+    let alpha: f64 = lines
+        .next()
+        .ok_or("missing alpha line")?
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad alpha: {e}"))?;
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(format!("alpha {alpha} outside (0, 1)"));
+    }
+    let counts: Vec<usize> = lines
+        .next()
+        .ok_or("missing counts line")?
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|e| format!("bad count: {e}")))
+        .collect::<Result<_, String>>()?;
+    let mut corrections = Vec::with_capacity(MAX_COLOCATED);
+    for w in 1..=MAX_COLOCATED {
+        corrections.push(parse_f64_line(
+            lines.next().ok_or_else(|| format!("missing correction row for width {w}"))?,
+            "correction",
+        )?);
+    }
+    let pooled = parse_f64_line(lines.next().ok_or("missing pooled row")?, "pooled correction")?;
+    let rest: Vec<&str> = lines.collect();
+    let heads = quantile_from_str(&rest.join("\n"))?;
+    let conf = StratifiedConformal::from_parts(heads.taus().to_vec(), counts, corrections, pooled)?;
+    ConformalModel::from_parts(heads, conf, alpha)
+}
+
+/// Save a conformal certifier to a file, creating parent directories.
+pub fn save_conformal(model: &ConformalModel, path: impl AsRef<Path>) -> io::Result<()> {
+    write_artifact(path.as_ref(), &conformal_to_string(model))
+}
+
+/// Load a conformal certifier from a file.
+pub fn load_conformal(path: impl AsRef<Path>) -> Result<ConformalModel, String> {
+    let text = fs::read_to_string(path).map_err(|e| e.to_string())?;
+    conformal_from_str(&text)
+}
+
+/// [`load_or_else`] for conformal certifiers: any cache failure degrades
+/// to `build` (re-train + re-calibrate) instead of panicking.
+pub fn load_conformal_or_else(
+    path: impl AsRef<Path>,
+    build: impl FnOnce() -> ConformalModel,
+) -> (ConformalModel, bool) {
+    match load_conformal(path) {
+        Ok(m) => (m, true),
+        Err(_) => (build(), false),
+    }
+}
+
+/// Write one artifact file, creating parent directories.
+fn write_artifact(path: &Path, text: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = fs::File::create(path)?;
+    f.write_all(text.as_bytes())
 }
 
 /// Path of the sidecar holding the calibrated prediction-round latency for
@@ -221,6 +404,128 @@ mod tests {
         let corrupted = full + "not-a-number\n";
         std::fs::write(&path, corrupted).unwrap();
         let (_, cached) = load_or_else(&path, || fresh.clone());
+        assert!(!cached);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    use crate::conformal::ConformalModel;
+    use crate::mlp::QuantileMlp;
+    use workload::SeededRng;
+
+    fn tiny_certifier() -> ConformalModel {
+        let mut rng = SeededRng::new(13);
+        let mut d = Dataset::new();
+        for _ in 0..300 {
+            let x = rng.f64();
+            let y = 5.0 + 3.0 * x + 0.5 * rng.normal();
+            d.push(vec![x, 1.0 - x], y.max(0.1));
+        }
+        let mut split_rng = SeededRng::new(2);
+        let (fit, calib) = d.split(0.7, &mut split_rng);
+        let heads = QuantileMlp::train(
+            &fit,
+            &MlpConfig {
+                epochs: 5,
+                hidden: vec![8, 8],
+                ..MlpConfig::default()
+            },
+            &crate::conformal::CERT_TAUS,
+        );
+        ConformalModel::calibrate(heads, &calib, 0.05)
+    }
+
+    #[test]
+    fn quantile_roundtrip_is_exact() {
+        let cert = tiny_certifier();
+        let q = cert.heads();
+        let back = quantile_from_str(&quantile_to_string(q)).unwrap();
+        assert_eq!(back.taus(), q.taus());
+        for i in 0..10 {
+            let x = [i as f64 / 10.0, 1.0 - i as f64 / 10.0];
+            assert_eq!(q.predict_quantiles_one(&x), back.predict_quantiles_one(&x));
+        }
+    }
+
+    #[test]
+    fn conformal_roundtrip_is_exact() {
+        let cert = tiny_certifier();
+        let path = std::env::temp_dir().join("abacus_persist_conf_test/model.conf");
+        save_conformal(&cert, &path).unwrap();
+        let back = load_conformal(&path).unwrap();
+        assert_eq!(back.alpha(), cert.alpha());
+        assert_eq!(back.conformal(), cert.conformal());
+        for i in 0..10 {
+            let x = [i as f64 / 10.0, 1.0 - i as f64 / 10.0];
+            assert_eq!(cert.predict_one(&x), back.predict_one(&x));
+            assert_eq!(cert.upper_bounds_one(&x), back.upper_bounds_one(&x));
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn corrupt_quantile_cache_degrades_to_retrain() {
+        let dir = std::env::temp_dir().join("abacus_persist_qmlp_load_or_else_test");
+        let path = dir.join("heads.qmlp");
+        let fresh = tiny_certifier().heads().clone();
+
+        // Missing cache: build runs.
+        let (q, cached) = load_quantile_or_else(&path, || fresh.clone());
+        assert!(!cached);
+        assert_eq!(q, fresh);
+
+        // Intact cache: build must not run.
+        save_quantile(&fresh, &path).unwrap();
+        let (_, cached) = load_quantile_or_else(&path, || unreachable!("cache was intact"));
+        assert!(cached);
+
+        // A stale *mean-model* artifact at the heads path (the PR 3 magic)
+        // must retrain, not panic or half-load.
+        let mean = tiny_mlp();
+        save(&mean, &path).unwrap();
+        let (_, cached) = load_quantile_or_else(&path, || fresh.clone());
+        assert!(!cached);
+
+        // Truncated and parameter-corrupted caches: graceful retrain.
+        let full = quantile_to_string(&fresh);
+        let truncated: String = full.lines().take(6).collect::<Vec<_>>().join("\n");
+        std::fs::write(&path, truncated).unwrap();
+        let (_, cached) = load_quantile_or_else(&path, || fresh.clone());
+        assert!(!cached);
+        std::fs::write(&path, full + "not-a-number\n").unwrap();
+        let (_, cached) = load_quantile_or_else(&path, || fresh.clone());
+        assert!(!cached);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_conformal_cache_degrades_to_recalibrate() {
+        let dir = std::env::temp_dir().join("abacus_persist_conf_load_or_else_test");
+        let path = dir.join("cert.conf");
+        let fresh = tiny_certifier();
+
+        // Missing cache: build runs.
+        let (m, cached) = load_conformal_or_else(&path, || fresh.clone());
+        assert!(!cached);
+        assert_eq!(m, fresh);
+
+        // Intact cache: build must not run.
+        save_conformal(&fresh, &path).unwrap();
+        let (_, cached) = load_conformal_or_else(&path, || unreachable!("cache was intact"));
+        assert!(cached);
+
+        // Truncated mid-table, truncated mid-heads, corrupted correction.
+        let full = conformal_to_string(&fresh);
+        for keep in [3, 8] {
+            let truncated: String = full.lines().take(keep).collect::<Vec<_>>().join("\n");
+            std::fs::write(&path, truncated).unwrap();
+            let (_, cached) = load_conformal_or_else(&path, || fresh.clone());
+            assert!(!cached, "truncation at line {keep} must miss the cache");
+        }
+        let corrupted = full.replacen("abacus-qmlp-v1", "abacus-qmlp-v9", 1);
+        std::fs::write(&path, corrupted).unwrap();
+        let (_, cached) = load_conformal_or_else(&path, || fresh.clone());
         assert!(!cached);
 
         std::fs::remove_dir_all(&dir).ok();

@@ -14,8 +14,10 @@
 //! calling thread) and `serial: false` (worker-pool fan-out) must produce
 //! bit-identical models — thread-count independence is a hard contract.
 
-use predictor::{Dataset, LatencyModel, Mlp, MlpConfig};
+use predictor::{Dataset, LatencyModel, Mlp, MlpConfig, QuantileMlp};
 use workload::SeededRng;
+
+const TAUS: [f64; 3] = [0.9, 0.95, 0.99];
 
 fn synthetic(n: usize, seed: u64) -> Dataset {
     let mut rng = SeededRng::new(seed);
@@ -66,6 +68,70 @@ fn multi_chunk_minibatches_match_reference_within_tolerance() {
     // And the drift is invisible at prediction level.
     let probe = vec![0.3, 0.7, 0.1, 0.9, 0.5, 0.2];
     assert!((new.predict_one(&probe) - old.predict_one(&probe)).abs() <= 1e-6);
+}
+
+#[test]
+fn quantile_single_chunk_minibatches_match_reference_bit_for_bit() {
+    // The multi-head pinball trainer shares the batched kernels with the
+    // scalar-loss path; inside one gradient chunk the accumulation order
+    // matches the scalar reference exactly, across head counts and shapes.
+    let d = synthetic(300, 21);
+    for taus in [&TAUS[..1], &TAUS[..2], &TAUS[..]] {
+        for batch_size in [8usize, 16] {
+            let cfg = MlpConfig {
+                epochs: 8,
+                batch_size,
+                ..MlpConfig::default()
+            };
+            let new = QuantileMlp::train(&d, &cfg, taus);
+            let old = QuantileMlp::train_reference(&d, &cfg, taus);
+            assert_eq!(new, old, "taus {taus:?} batch {batch_size}");
+        }
+    }
+}
+
+#[test]
+fn quantile_multi_chunk_minibatches_match_reference_within_tolerance() {
+    let d = synthetic(400, 22);
+    let cfg = MlpConfig {
+        epochs: 6,
+        batch_size: 64,
+        ..MlpConfig::default()
+    };
+    let new = QuantileMlp::train(&d, &cfg, &TAUS);
+    let old = QuantileMlp::train_reference(&d, &cfg, &TAUS);
+    assert_eq!(new.dims(), old.dims());
+    let (pn, po) = (new.raw_params(), old.raw_params());
+    for (j, (a, b)) in pn.iter().zip(&po).enumerate() {
+        assert!(
+            (a - b).abs() <= 1e-9,
+            "param {j} drifted: {a} vs {b} (|Δ| = {:e})",
+            (a - b).abs()
+        );
+    }
+}
+
+#[test]
+fn quantile_serial_and_pooled_training_are_bit_identical() {
+    let d = synthetic(400, 23);
+    let pooled = QuantileMlp::train(
+        &d,
+        &MlpConfig {
+            epochs: 6,
+            ..MlpConfig::default()
+        },
+        &TAUS,
+    );
+    let serial = QuantileMlp::train(
+        &d,
+        &MlpConfig {
+            epochs: 6,
+            serial: true,
+            ..MlpConfig::default()
+        },
+        &TAUS,
+    );
+    assert_eq!(pooled, serial);
 }
 
 #[test]

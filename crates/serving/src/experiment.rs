@@ -393,6 +393,30 @@ pub fn run_colocation_faulty(
     plan: &FaultPlan,
     opts: NodeOptions,
 ) -> FaultRunOutcome {
+    run_colocation_certified(models, policy, predictor, None, lib, gpu, noise, cfg, plan, opts)
+}
+
+/// [`run_colocation_faulty`] with an optional conformal certifier wired
+/// into the Abacus controller ([`AbacusScheduler::with_certifier`]). With
+/// `certifier == None` — or `cfg.abacus.conformal` off — this is the exact
+/// same run, bit for bit; [`run_colocation_faulty`] delegates here.
+///
+/// Fault plans wrap only the *mean* predictor (the certifier calibrates a
+/// bound over the healthy model's behaviour; a faulted mean feeding the
+/// ledger/EWMA is precisely the failure mode the PR 4 defenses watch).
+#[allow(clippy::too_many_arguments)]
+pub fn run_colocation_certified(
+    models: &[ModelId],
+    policy: PolicyKind,
+    predictor: Option<Arc<dyn LatencyModel>>,
+    certifier: Option<Arc<dyn LatencyModel>>,
+    lib: &Arc<ModelLibrary>,
+    gpu: &GpuSpec,
+    noise: &NoiseModel,
+    cfg: &ColocationConfig,
+    plan: &FaultPlan,
+    opts: NodeOptions,
+) -> FaultRunOutcome {
     let services = services_for(models, lib, gpu, cfg.small_inputs);
     let workload = build_faulty_workload(&services, lib, cfg, plan);
     let mut executor = SegmentalExecutor::new(
@@ -408,7 +432,8 @@ pub fn run_colocation_faulty(
         PolicyKind::Abacus => {
             let model =
                 plan.wrap_predictor(predictor.expect("Abacus needs a latency predictor"));
-            let mut sched = AbacusScheduler::new(model, lib.clone(), cfg.abacus.clone());
+            let mut sched =
+                AbacusScheduler::with_certifier(model, certifier, lib.clone(), cfg.abacus.clone());
             let records = simulate_node_checked(
                 &mut sched,
                 &mut executor,
@@ -594,6 +619,91 @@ mod tests {
             "faults must not break serving invariants"
         );
         assert_eq!(out.result.all.total(), bursty.len());
+    }
+
+    #[test]
+    fn certified_runner_without_certifier_matches_faulty_runner() {
+        // `run_colocation_certified(…, None, …)` and a supplied certifier
+        // with the conformal flag off must both reproduce the plain faulty
+        // runner bit for bit.
+        let (lib, gpu, noise) = setup();
+        let models = [ModelId::ResNet50, ModelId::Bert];
+        let mut cfg = small_cfg();
+        // Pin the per-round prediction latency: startup calibration is
+        // wall-clock-measured, so unpinned Abacus runs are not repeatable.
+        cfg.abacus.predict_round_ms = Some(0.08);
+        let (mlp, _) = crate::trainer::train_unified(
+            &[models.to_vec()],
+            &lib,
+            &gpu,
+            &noise,
+            &TrainerConfig::fast(),
+        );
+        let mlp: Arc<dyn LatencyModel> = Arc::new(mlp);
+        let run = |certifier: Option<Arc<dyn LatencyModel>>| {
+            run_colocation_certified(
+                &models,
+                PolicyKind::Abacus,
+                Some(mlp.clone()),
+                certifier,
+                &lib,
+                &gpu,
+                &noise,
+                &cfg,
+                &faults::FaultPlan::none(),
+                crate::node::NodeOptions::default(),
+            )
+        };
+        let plain = run_colocation_faulty(
+            &models,
+            PolicyKind::Abacus,
+            Some(mlp.clone()),
+            &lib,
+            &gpu,
+            &noise,
+            &cfg,
+            &faults::FaultPlan::none(),
+            crate::node::NodeOptions::default(),
+        );
+        assert_eq!(run(None).records, plain.records);
+        // Flag off: an attached certifier must be inert.
+        assert!(!cfg.abacus.conformal);
+        assert_eq!(run(Some(mlp.clone())).records, plain.records);
+    }
+
+    #[test]
+    fn conformal_certification_changes_planning_when_enabled() {
+        let (lib, gpu, noise) = setup();
+        let models = [ModelId::ResNet50, ModelId::ResNet152];
+        let mut cfg = small_cfg();
+        cfg.abacus.conformal = true;
+        let certified = crate::trainer::train_certified(
+            &[models.to_vec()],
+            &lib,
+            &gpu,
+            &noise,
+            &TrainerConfig::fast(),
+            0.05,
+        );
+        let mean: Arc<dyn LatencyModel> = Arc::new(certified.mean);
+        let upper: Arc<dyn LatencyModel> = Arc::new(certified.certifier);
+        let out = run_colocation_certified(
+            &models,
+            PolicyKind::Abacus,
+            Some(mean),
+            Some(upper),
+            &lib,
+            &gpu,
+            &noise,
+            &cfg,
+            &faults::FaultPlan::none(),
+            crate::node::NodeOptions::default(),
+        );
+        assert!(out.invariant_violations.is_empty());
+        assert!(!out.degraded);
+        assert!(out.result.all.total() > 0);
+        // Certified planning still serves the workload usefully.
+        assert!(out.result.violation_ratio() < 0.5);
     }
 
     #[test]

@@ -272,6 +272,11 @@ pub fn simulate_node_instrumented(
             // Ledger rows only for rounds that made progress — idle probes
             // of an unservable queue would otherwise dominate the ledger.
             if decision.group.is_some() || !decision.dropped.is_empty() {
+                let upper_ms = decision
+                    .group
+                    .as_ref()
+                    .and_then(|g| g.upper_ms)
+                    .unwrap_or(f64::NAN);
                 let (entries, predicted_ms, prediction_rounds, headroom) = match &decision.group {
                     Some(g) => {
                         // Resolve each entry's queue position once; the row
@@ -319,6 +324,7 @@ pub fn simulate_node_instrumented(
                     prediction_rounds,
                     entries,
                     predicted_ms,
+                    upper_ms,
                     critical_headroom_ms: headroom,
                     exec_start_ms: f64::NAN,
                     actual_ms: f64::NAN,

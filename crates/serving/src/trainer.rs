@@ -9,11 +9,11 @@
 use dnn_models::{ModelId, ModelLibrary};
 use gpu_sim::{GpuSpec, NoiseModel};
 use predictor::{
-    profile_group, profile_groups, sample_groups, Dataset, GroupSpec, Mlp, MlpConfig,
-    ProfiledGroup,
+    profile_group, profile_groups, sample_groups, ConformalModel, Dataset, GroupSpec, Mlp,
+    MlpConfig, ProfiledGroup, QuantileMlp, CERT_TAUS,
 };
 use rayon::prelude::*;
-use workload::fork_seed;
+use workload::{fork_seed, SeededRng};
 
 /// Sub-stream indices for per-set seed derivation. Each co-location set's
 /// sampling and profiling RNG streams are
@@ -160,6 +160,57 @@ pub fn train_unified(
     (mlp, data)
 }
 
+/// Fork label of the conformal calibration split's RNG stream. Nested off
+/// `cfg.seed` like the per-set streams, far outside any plausible set
+/// label, so the held-out slice is deterministic for a given seed and
+/// disjoint from every sampling/profiling stream.
+const CALIB_FORK: u64 = 0x00CA_11B0;
+
+/// Fraction of the pooled dataset the quantile heads train on; the
+/// remainder is the held-out conformal calibration slice (split
+/// conformal's exchangeability requirement — the heads must never see the
+/// calibration rows).
+const CALIB_TRAIN_FRAC: f64 = 0.75;
+
+/// The certified-training output: the mean predictor (bit-identical to
+/// [`train_unified`]'s — same data, same trainer, so mean-model caches
+/// stay valid), the calibrated upper-bound certifier, and the pooled
+/// dataset.
+pub struct CertifiedPredictor {
+    /// Unified mean model, exactly as [`train_unified`] trains it.
+    pub mean: Mlp,
+    /// Quantile heads + split-conformal table, certifying at `alpha`.
+    pub certifier: ConformalModel,
+    /// The pooled profiling dataset both models came from.
+    pub data: Dataset,
+}
+
+/// Train the full certification stack over the given co-location sets:
+/// the unified mean model on the complete pooled dataset (unchanged from
+/// [`train_unified`]), p90/p95/p99 quantile heads ([`CERT_TAUS`]) on a
+/// deterministic 75% slice, and a per-width split-conformal calibration
+/// on the held-out 25% ([`ConformalModel::calibrate`]), certifying Eq. 2
+/// at miscoverage `alpha`.
+pub fn train_certified(
+    sets: &[Vec<ModelId>],
+    lib: &ModelLibrary,
+    gpu: &GpuSpec,
+    noise: &NoiseModel,
+    cfg: &TrainerConfig,
+    alpha: f64,
+) -> CertifiedPredictor {
+    let (mean, data) = train_unified(sets, lib, gpu, noise, cfg);
+    let mut rng = SeededRng::new(fork_seed(cfg.seed, CALIB_FORK));
+    let (head_train, calib) = data.split(CALIB_TRAIN_FRAC, &mut rng);
+    let heads = QuantileMlp::train(&head_train, &cfg.mlp, &CERT_TAUS);
+    let certifier = ConformalModel::calibrate(heads, &calib, alpha);
+    CertifiedPredictor {
+        mean,
+        certifier,
+        data,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +288,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn certified_training_shares_the_mean_model_and_is_deterministic() {
+        let lib = ModelLibrary::new();
+        let gpu = GpuSpec::a100();
+        let noise = NoiseModel::calibrated();
+        let sets = vec![vec![ModelId::ResNet50, ModelId::Bert]];
+        let cfg = TrainerConfig {
+            samples_per_set: 120,
+            runs_per_group: 2,
+            mlp: MlpConfig::fast(),
+            seed: 9,
+        };
+        let (plain, _) = train_unified(&sets, &lib, &gpu, &noise, &cfg);
+        let a = train_certified(&sets, &lib, &gpu, &noise, &cfg, 0.05);
+        // The mean model is bit-identical to the uncertified trainer's —
+        // mean-model caches survive turning certification on.
+        assert_eq!(a.mean, plain);
+        assert!((a.certifier.alpha() - 0.05).abs() < 1e-12);
+        // Heads never see the calibration slice: proper-train + calib
+        // partition the pooled data.
+        assert_eq!(a.data.len(), cfg.samples_per_set);
+        // Rerun is bit-identical (deterministic calibration split).
+        let b = train_certified(&sets, &lib, &gpu, &noise, &cfg, 0.05);
+        assert_eq!(a.certifier, b.certifier);
     }
 
     #[test]

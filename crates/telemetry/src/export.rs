@@ -384,6 +384,7 @@ pub fn ledger_csv(path: impl AsRef<Path>, ledger: &DecisionLedger) -> io::Result
             "actual_ms",
             "headroom_ms",
             "rel_err",
+            "upper_ms",
         ],
     )?;
     for r in ledger.rows() {
@@ -401,6 +402,7 @@ pub fn ledger_csv(path: impl AsRef<Path>, ledger: &DecisionLedger) -> io::Result
                 r.actual_ms,
                 r.critical_headroom_ms,
                 r.rel_error().unwrap_or(f64::NAN),
+                r.upper_ms,
             ],
         )?;
     }

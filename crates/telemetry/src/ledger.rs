@@ -46,6 +46,10 @@ pub struct RoundEntry {
     pub entries: Vec<LedgerEntry>,
     /// The predictor's latency estimate for the chosen group, ms.
     pub predicted_ms: f64,
+    /// Calibrated upper bound the round was certified against, ms — the
+    /// conformal interval width is `upper_ms − predicted_ms`. `NaN` for
+    /// mean + safety-margin rounds (certification off).
+    pub upper_ms: f64,
     /// Headroom of the group's most urgent query at dispatch time, ms.
     pub critical_headroom_ms: f64,
     /// When the group actually started executing, ms.
@@ -200,6 +204,7 @@ mod tests {
             prediction_rounds: 2,
             entries: vec![],
             predicted_ms: predicted,
+            upper_ms: f64::NAN,
             critical_headroom_ms: 5.0,
             exec_start_ms: f64::NAN,
             actual_ms: f64::NAN,

@@ -29,6 +29,7 @@ fn fixture() -> Telemetry {
             op_end: 4,
         }],
         predicted_ms: 8.0,
+        upper_ms: f64::NAN,
         critical_headroom_ms: 50.0,
         exec_start_ms: f64::NAN,
         actual_ms: f64::NAN,

@@ -66,4 +66,21 @@ cmp "$FAULTS_SERIAL/faults.csv" "$FAULTS_PARALLEL/faults.csv" || {
     exit 1
 }
 
+# Pareto-sweep determinism gate: the `pareto` subcommand (fixed-margin vs
+# conformal certification) must also emit byte-identical CSVs across the
+# serial and parallel cell schedules — including the trained-and-cached
+# certifier artifacts feeding it.
+echo "== pareto sweep serial/parallel byte gate =="
+PARETO_SERIAL=$(mktemp -d)
+PARETO_PARALLEL=$(mktemp -d)
+trap 'rm -rf "$FAULTS_SERIAL" "$FAULTS_PARALLEL" "$PARETO_SERIAL" "$PARETO_PARALLEL"' EXIT
+cargo run --release -q -p abacus-cli --bin abacus-repro -- pareto --fast --out "$PARETO_SERIAL" --serial >/dev/null
+cargo run --release -q -p abacus-cli --bin abacus-repro -- pareto --fast --out "$PARETO_PARALLEL" >/dev/null
+for f in pareto.csv pareto_width.csv; do
+    cmp "$PARETO_SERIAL/$f" "$PARETO_PARALLEL/$f" || {
+        echo "pareto sweep $f diverged between serial and parallel runs" >&2
+        exit 1
+    }
+done
+
 echo "all bench gates passed"

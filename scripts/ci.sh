@@ -39,6 +39,20 @@ echo "== routing golden + determinism contracts =="
 # score via one batched forward, and be unperturbed by telemetry.
 cargo test -q -p cluster --test routing_golden
 
+echo "== certification suites (quantile golden, conformal coverage, byte-identity) =="
+# The uncertainty-aware certification stack: the multi-head pinball
+# trainer must match its scalar reference (bit-for-bit in the single-chunk
+# regime, 1e-9 otherwise), split-conformal calibration must hit its
+# coverage band on held-out data, and a run that merely *carries* a
+# certifier with the `conformal` flag off must stay byte-identical to the
+# pre-certification serving path.
+cargo test -q -p predictor --test golden_trainer
+cargo test -q -p predictor --lib conformal
+cargo test -q -p abacus-core --lib conformal
+cargo test -q -p serving --lib certified
+cargo test -q -p integration --test predictor_pipeline conformal_upper_bounds
+cargo test -q -p integration --test scheduling_policies conformal_disabled
+
 echo "== telemetry-disabled golden checksum =="
 # The telemetry-instrumented serving loop with no Telemetry attached must
 # stay byte-identical to the pre-telemetry loop — pinned by the no-fault

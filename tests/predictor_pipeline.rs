@@ -5,8 +5,8 @@
 use dnn_models::{ModelId, ModelLibrary};
 use gpu_sim::{GpuSpec, NoiseModel};
 use predictor::{
-    eval, persist, sample_groups, Dataset, LinearRegression, LinearSvr, Mlp, MlpConfig,
-    SvrConfig,
+    eval, persist, sample_groups, ConformalModel, Dataset, LinearRegression, LinearSvr, Mlp,
+    MlpConfig, QuantileMlp, SvrConfig, CERT_TAUS,
 };
 use serving::{collect_profiles, TrainerConfig};
 use std::sync::Arc;
@@ -136,6 +136,63 @@ fn multiway_groups_train_through_unified_layout() {
     );
     let err = eval::mape(&mlp, &test);
     assert!(err < 0.12, "multiway mape {err}");
+}
+
+/// The certification stack on *real profiled data*: quantile heads train
+/// on a proper-train slice, split-conformal calibrates on a held-out
+/// slice, and the resulting p95 upper bound covers a disjoint test slice
+/// at (at least) its nominal rate, with bounds monotone in alpha.
+#[test]
+fn conformal_upper_bounds_cover_profiled_latencies() {
+    let (_lib, data) = profiles_for([ModelId::ResNet50, ModelId::ResNet152], 900);
+    let mut rng = SeededRng::new(7);
+    let (work, test) = data.split(0.75, &mut rng);
+    let (train, calib) = work.split(0.6, &mut rng);
+    let heads = QuantileMlp::train(
+        &train,
+        &MlpConfig {
+            epochs: 120,
+            ..MlpConfig::default()
+        },
+        &CERT_TAUS,
+    );
+    let p90 = ConformalModel::calibrate(heads, &calib, 0.10);
+    let p95 = p90.with_alpha(0.05);
+    let p99 = p90.with_alpha(0.01);
+    let n = test.len();
+    let (mut c90, mut c95, mut c99) = (0usize, 0, 0);
+    let mut bounds = Vec::new();
+    for i in 0..n {
+        let x = &test.x[i];
+        use predictor::LatencyModel;
+        let (b90, b95, b99) = (
+            p90.predict_one(x),
+            p95.predict_one(x),
+            p99.predict_one(x),
+        );
+        assert!(b90 <= b95 && b95 <= b99, "bounds not monotone in alpha");
+        bounds.push(b95);
+        c90 += usize::from(test.y[i] <= b90);
+        c95 += usize::from(test.y[i] <= b95);
+        c99 += usize::from(test.y[i] <= b99);
+    }
+    // Finite-sample bands: split conformal guarantees coverage >= 1-alpha
+    // *marginally over calibration draws*; a single split of ~225 test
+    // points wobbles by a few points around nominal.
+    let cov95 = c95 as f64 / n as f64;
+    assert!(
+        (0.88..=1.0).contains(&cov95),
+        "p95 coverage {cov95} outside tolerance band"
+    );
+    let (cov90, cov99) = (c90 as f64 / n as f64, c99 as f64 / n as f64);
+    assert!(cov90 >= 0.82, "p90 coverage too low: {cov90}");
+    assert!(cov99 >= 0.95, "p99 coverage too low: {cov99}");
+    assert!(cov90 <= cov95 && cov95 <= cov99, "coverage not monotone");
+    // Batched entry point agrees with the scalar path bit for bit.
+    let flat: Vec<f64> = test.x.iter().flatten().copied().collect();
+    let mut batched = Vec::new();
+    p95.predict_upper_into(&flat, n, &mut batched);
+    assert_eq!(batched, bounds);
 }
 
 /// The predictor is *accurate about overlap*: predicted group durations are
