@@ -44,8 +44,10 @@ use workload::fork_seed;
 /// A metric fails the `--check` gate past this factor.
 const REGRESSION_FACTOR: f64 = 2.0;
 
-/// Attaching a counters-only [`telemetry::Telemetry`] may cost at most this
-/// much of the cell's wall time in `--check` mode.
+/// Attaching a [`telemetry::Telemetry`] with the run-health monitors
+/// enabled (counters + sketches + drift/SLO detectors + flight recorder,
+/// no kernel trace) may cost at most this much of the cell's wall time in
+/// `--check` mode.
 const TELEMETRY_OVERHEAD_LIMIT_PCT: f64 = 2.0;
 
 struct CellOutcome {
@@ -92,8 +94,8 @@ fn run_cell(
     run_colocation(pair, policy, pred, &fx.lib, &fx.gpu, noise, &cfg)
 }
 
-/// The Abacus cell of [`run_cell`] with a counters-only telemetry attached
-/// (no kernel trace) — the overhead-gate workload.
+/// The Abacus cell of [`run_cell`] with telemetry + run-health monitors
+/// attached (no kernel trace) — the overhead-gate workload.
 fn run_cell_traced(
     fx: &Fixture,
     noise: &NoiseModel,
@@ -112,7 +114,7 @@ fn run_cell_traced(
         abacus,
         ..ColocationConfig::default()
     };
-    let mut tel = telemetry::Telemetry::new();
+    let mut tel = telemetry::Telemetry::with_health();
     let (r, _) = serving::run_colocation_traced(
         pair,
         PolicyKind::Abacus,
@@ -196,8 +198,9 @@ fn main() {
     let cell_abacus_ms = t0.elapsed().as_secs_f64() * 1e3;
     eprintln!("  fig14 cell ({:.0} ms horizon): FCFS {cell_fcfs_ms:.0} ms, Abacus {cell_abacus_ms:.0} ms", cell_horizon_ms);
 
-    // --- Telemetry overhead: the same Abacus cell with a counters-only
-    // Telemetry attached. Each timed sample is a batch of 3 seeds so the
+    // --- Telemetry overhead: the same Abacus cell with a monitors-enabled
+    // Telemetry attached (counters + run-health sketches/detectors). Each
+    // timed sample is a batch of 3 seeds so the
     // sample rises above timer granularity; the off/on samples interleave
     // and the estimate compares the *minimum* over reps — external noise
     // (a co-tenant on the core, a page fault) only ever adds time, so the

@@ -81,6 +81,10 @@ pub struct Options {
     /// and therefore the CSVs — are byte-identical to the serial order;
     /// `--serial` exists for demonstrating exactly that.
     pub parallel: bool,
+    /// Report queue-delay percentiles from the streaming quantile sketch
+    /// instead of the exact kept-every-delay pool (`--sketch`; bounded
+    /// memory, within `QuantileSketch::RELATIVE_ERROR` of exact).
+    pub sketch: bool,
 }
 
 impl Default for Options {
@@ -91,6 +95,7 @@ impl Default for Options {
             out_dir: PathBuf::from("results"),
             retrain: false,
             parallel: true,
+            sketch: false,
         }
     }
 }
@@ -127,8 +132,8 @@ impl Options {
     }
 }
 
-/// Parse `[scale] [--seed N] [--out DIR] [--retrain] [--serial]` style
-/// arguments.
+/// Parse `[scale] [--seed N] [--out DIR] [--retrain] [--serial] [--sketch]`
+/// style arguments.
 pub fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
     let mut it = args.iter();
@@ -139,6 +144,7 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             "--full" => opts.scale = Scale::Full,
             "--retrain" => opts.retrain = true,
             "--serial" => opts.parallel = false,
+            "--sketch" => opts.sketch = true,
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 opts.seed = v.parse().map_err(|e| format!("bad seed: {e}"))?;

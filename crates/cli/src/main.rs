@@ -19,6 +19,7 @@ mod fig22;
 mod fig23;
 mod fig3;
 mod fig7;
+mod health_cmd;
 mod mig;
 mod multiway;
 mod pairwise;
@@ -46,13 +47,17 @@ experiments:
   faults    QoS violations vs fault intensity + invariant check (extension)
   pareto    violation rate vs throughput: fixed margin vs conformal (extension)
   trace     telemetry: Perfetto trace, decision ledger, §5.2 error sweep
+  health    run-health monitors: drift/SLO-burn detection latency (extension)
   all       everything above, in order
 
 options:
   --fast | --medium | --full   experiment scale (default: --medium)
   --seed N                     master seed (default: 2021)
   --out DIR                    output directory (default: results/)
-  --retrain                    ignore cached predictor models";
+  --retrain                    ignore cached predictor models
+  --sketch                     report queue-delay percentiles from the
+                               streaming quantile sketch instead of the
+                               exact per-query pool";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -89,6 +94,7 @@ fn main() {
         "faults" => faults_cmd::run(&opts),
         "pareto" => pareto_cmd::run(&opts),
         "trace" => trace_cmd::run(&opts),
+        "health" => health_cmd::run(&opts),
         "summary" => summary::run(&opts),
         "all" => {
             tables::table1(&opts);
@@ -110,6 +116,7 @@ fn main() {
             faults_cmd::run(&opts);
             pareto_cmd::run(&opts);
             trace_cmd::run(&opts);
+            health_cmd::run(&opts);
             summary::run(&opts);
         }
         other => {

@@ -72,6 +72,10 @@ pub fn run(opts: &Options) {
     let buckets = (cfg.horizon_ms / BUCKET_MS).ceil() as usize;
     let points = build_timeline_bucketed(&workload.arrivals, &requests, &records, buckets, BUCKET_MS);
     add_counter_tracks(&mut trace, &points, BUCKET_MS);
+    // Registry counters and histogram digests join the same counter
+    // process as end-of-run samples, so Perfetto shows the run's final
+    // engine/scheduler totals next to the load overlay.
+    trace.add_registry(&tel.registry, cfg.horizon_ms);
     let json_path = opts.out_dir.join("trace.json");
     trace.write_to(&json_path).expect("trace.json");
     ledger_csv(opts.csv_path("ledger"), &tel.ledger).expect("ledger.csv");
@@ -113,8 +117,13 @@ pub fn run(opts: &Options) {
         json_path.display()
     );
     println!(
-        "queue delay p99 (exact, completed queries): {:.2} ms; violation ratio {:.3}",
-        result.all.queue_p99_ms(),
+        "queue delay p99 ({}, completed queries): {:.2} ms; violation ratio {:.3}",
+        if opts.sketch { "sketch" } else { "exact" },
+        if opts.sketch {
+            result.all.queue_sketch_percentile(99.0)
+        } else {
+            result.all.queue_p99_ms()
+        },
         result.violation_ratio()
     );
     if let Some(r) = tel.ledger.error_report_where(|row| row.entries.len() >= 2) {

@@ -806,6 +806,30 @@ pub fn run_routed_cluster_on(
         arrivals.len(),
         "every arrival must be accounted exactly once"
     );
+    if let Some(t) = telemetry {
+        if let Some(h) = t.health_mut() {
+            // Per-GPU sims retire queries on their own clocks; the burn-rate
+            // windows need one global stream, so replay the outcomes in
+            // retire-time order. The sort key is fully determined by the
+            // records (ties broken by service, arrival, then the records'
+            // own deterministic serial≡parallel order), so the resulting
+            // alert stream is byte-reproducible.
+            let mut order: Vec<usize> = (0..records.len()).collect();
+            order.sort_by(|&a, &b| {
+                let (ra, rb) = (&records[a], &records[b]);
+                (ra.arrival_ms + ra.latency_ms)
+                    .total_cmp(&(rb.arrival_ms + rb.latency_ms))
+                    .then(ra.service.cmp(&rb.service))
+                    .then(ra.arrival_ms.total_cmp(&rb.arrival_ms))
+                    .then(a.cmp(&b))
+            });
+            for &i in &order {
+                let r = &records[i];
+                h.note_service(r.service, r.qos_ms);
+                h.observe_query(r.arrival_ms + r.latency_ms, r.service, !r.met_qos());
+            }
+        }
+    }
     RoutedRunResult {
         records,
         gpu_usage,

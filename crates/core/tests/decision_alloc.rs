@@ -7,32 +7,46 @@
 //! scheduler up (first rounds grow the arenas), then assert the
 //! allocation counter does not move across thousands of further rounds.
 //!
-//! The file holds exactly one test: the counter is process-global, and a
-//! concurrently running sibling test would perturb it.
+//! The counter is **per-thread** (const-initialised TLS, so the counting
+//! path itself never allocates): the libtest harness thread runs
+//! concurrently with the test thread and allocates at its own pace
+//! (stdout locking, test-timing bookkeeping), so a process-global counter
+//! is intermittently perturbed by a couple of harness allocations mid-
+//! measurement. Only allocations made *by the measuring thread* count.
 
 use abacus_core::{AbacusConfig, AbacusScheduler, Query, RoundDecision, Scheduler};
 use dnn_models::{ModelId, ModelLibrary, QueryInput};
 use predictor::features::SLOT_WIDTH;
 use predictor::{LatencyModel, MAX_COLOCATED, MODEL_SLOT_BASE};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 use std::sync::Arc;
 
-/// System allocator wrapper that counts every allocation.
+/// System allocator wrapper that counts every allocation on the calling
+/// thread.
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+std::thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Allocations made by the calling thread so far (other threads' activity
+/// is invisible).
+fn thread_allocs() -> u64 {
+    ALLOCS.with(Cell::get)
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // `try_with`: TLS may be mid-teardown when late allocations happen.
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         unsafe { System.dealloc(ptr, layout) }
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -90,12 +104,12 @@ fn steady_state_decide_round_allocates_nothing() {
     }
     assert!(decision.group.is_some(), "fixture must exercise the planned path");
 
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = thread_allocs();
     for _ in 0..4_096 {
         sched.decide_into(5.0, &queue, &mut decision);
         std::hint::black_box(&decision);
     }
-    let after = ALLOCS.load(Ordering::Relaxed);
+    let after = thread_allocs();
     assert_eq!(
         after - before,
         0,
@@ -108,12 +122,12 @@ fn steady_state_decide_round_allocates_nothing() {
         sched.decide_into(1e6, &queue, &mut decision);
     }
     assert!(decision.group.is_none());
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = thread_allocs();
     for _ in 0..4_096 {
         sched.decide_into(1e6, &queue, &mut decision);
         std::hint::black_box(&decision);
     }
-    let after = ALLOCS.load(Ordering::Relaxed);
+    let after = thread_allocs();
     assert_eq!(
         after - before,
         0,

@@ -10,11 +10,13 @@
 pub mod cdf;
 pub mod csv;
 pub mod recorder;
+pub mod sketch;
 pub mod stats;
 pub mod table;
 
 pub use cdf::Cdf;
 pub use csv::CsvWriter;
 pub use recorder::{QueryOutcome, QueryRecord, ServiceStats};
+pub use sketch::QuantileSketch;
 pub use stats::{mean, percentile, std_dev, Summary};
 pub use table::Table;

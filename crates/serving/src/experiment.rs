@@ -417,6 +417,33 @@ pub fn run_colocation_certified(
     plan: &FaultPlan,
     opts: NodeOptions,
 ) -> FaultRunOutcome {
+    run_colocation_observed(
+        models, policy, predictor, certifier, lib, gpu, noise, cfg, plan, opts, None,
+    )
+}
+
+/// [`run_colocation_certified`] with opt-in telemetry — the entry point the
+/// run-health studies use to watch a fault plan's effect *online* (drift
+/// detectors and SLO burn monitors ride inside the `Telemetry`).
+///
+/// With `telemetry: None` this is the exact same run, bit for bit:
+/// [`run_colocation_certified`] delegates here, and the simulation loop's
+/// disabled-telemetry path is pinned byte-identical by the golden checksum
+/// tests.
+#[allow(clippy::too_many_arguments)]
+pub fn run_colocation_observed(
+    models: &[ModelId],
+    policy: PolicyKind,
+    predictor: Option<Arc<dyn LatencyModel>>,
+    certifier: Option<Arc<dyn LatencyModel>>,
+    lib: &Arc<ModelLibrary>,
+    gpu: &GpuSpec,
+    noise: &NoiseModel,
+    cfg: &ColocationConfig,
+    plan: &FaultPlan,
+    opts: NodeOptions,
+    mut telemetry: Option<&mut Telemetry>,
+) -> FaultRunOutcome {
     let services = services_for(models, lib, gpu, cfg.small_inputs);
     let workload = build_faulty_workload(&services, lib, cfg, plan);
     let mut executor = SegmentalExecutor::new(
@@ -426,15 +453,23 @@ pub fn run_colocation_certified(
         fork_seed(cfg.seed, 0xE0),
     );
     executor.set_kernel_faults(plan.kernel_fault_spec());
+    if let Some(t) = telemetry.as_deref_mut() {
+        if t.kernel_trace_enabled() {
+            executor.enable_kernel_trace();
+        }
+    }
     let mut checker = InvariantChecker::new();
 
     let (records, degraded) = match policy {
         PolicyKind::Abacus => {
+            if let Some(t) = telemetry.as_deref_mut() {
+                t.set_predictor_ways(cfg.abacus.ways);
+            }
             let model =
                 plan.wrap_predictor(predictor.expect("Abacus needs a latency predictor"));
             let mut sched =
                 AbacusScheduler::with_certifier(model, certifier, lib.clone(), cfg.abacus.clone());
-            let records = simulate_node_checked(
+            let records = simulate_node_instrumented(
                 &mut sched,
                 &mut executor,
                 lib,
@@ -442,6 +477,7 @@ pub fn run_colocation_certified(
                 &workload,
                 opts,
                 Some(&mut checker),
+                telemetry,
             );
             (records, sched.is_degraded())
         }
@@ -453,7 +489,7 @@ pub fn run_colocation_certified(
                 PolicyKind::Abacus => unreachable!("handled above"),
             };
             let mut sched = BaselineScheduler::new(kind, lib.clone(), gpu.clone());
-            let records = simulate_node_checked(
+            let records = simulate_node_instrumented(
                 &mut sched,
                 &mut executor,
                 lib,
@@ -461,6 +497,7 @@ pub fn run_colocation_certified(
                 &workload,
                 opts,
                 Some(&mut checker),
+                telemetry,
             );
             (records, false)
         }

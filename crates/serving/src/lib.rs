@@ -17,8 +17,9 @@ pub mod trainer;
 pub use deploy::{memory_report, MemoryReport, ServiceFootprint};
 pub use experiment::{
     build_faulty_workload, build_workload, make_scheduler, run_colocation,
-    run_colocation_certified, run_colocation_faulty, run_colocation_traced, run_with_services,
-    services_for, ColocationConfig, ColocationResult, FaultRunOutcome, PolicyKind,
+    run_colocation_certified, run_colocation_faulty, run_colocation_observed,
+    run_colocation_traced, run_with_services, services_for, ColocationConfig, ColocationResult,
+    FaultRunOutcome, PolicyKind,
 };
 pub use invariants::InvariantChecker;
 pub use mps::{mps_victim_latencies, victim_solo_ms, MpsConfig};

@@ -425,7 +425,6 @@ pub fn simulate_node_instrumented(
             // The predictor estimates kernel time (the longest stream), not
             // the host-side sync/save overheads — join both against the row.
             let kernel_ms = out.stream_ms.iter().fold(0.0f64, |a, &b| a.max(b));
-            t.ledger.complete_last(round, exec_start, out.duration_ms, kernel_ms);
             t.registry.inc(Counter::GroupsExecuted);
             t.registry.add(Counter::PredictionRounds, group.prediction_rounds as u64);
             t.registry.observe(Hist::SearchRounds, group.prediction_rounds as f64);
@@ -448,6 +447,9 @@ pub fn simulate_node_instrumented(
                     t.on_kernel_span(round, exec_start, s);
                 }
             }
+            // Joins the ledger row and, with health monitors on, snapshots
+            // the engine counters set above into the flight recorder.
+            t.on_round_complete(round, exec_start, out.duration_ms, kernel_ms);
         }
         scheduler.on_group_complete(out.duration_ms);
         for e in &group.entries {

@@ -33,6 +33,8 @@ pub const PID_SERVING: u64 = 1;
 pub const PID_GPU: u64 = 2;
 /// Process id reserved for caller-added counter tracks.
 pub const PID_COUNTERS: u64 = 3;
+/// Process id of the run-health alert track.
+pub const PID_HEALTH: u64 = 4;
 
 /// One typed argument value of a trace event.
 #[derive(Debug, Clone, Copy)]
@@ -45,7 +47,7 @@ pub enum Arg<'a> {
     Str(&'a str),
 }
 
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -58,7 +60,7 @@ fn esc(s: &str) -> String {
     out
 }
 
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -325,6 +327,70 @@ impl ChromeTrace {
                 &[
                     ("round", Arg::U64(k.round)),
                     ("occupancy", Arg::F64(k.occupancy)),
+                ],
+            );
+        }
+    }
+
+    /// Lower a run's health alerts as instant events on the health track.
+    /// Emits nothing (not even track metadata) when no alert fired, so
+    /// traces of healthy runs are unchanged.
+    pub fn add_health(&mut self, health: &crate::health::RunHealth) {
+        if health.alerts().is_empty() {
+            return;
+        }
+        self.add_process_name(PID_HEALTH, "run health");
+        self.add_thread_name(PID_HEALTH, 0, "alerts");
+        for a in health.alerts() {
+            use crate::health::HealthAlertKind;
+            let label = a.label();
+            let args: Vec<(&str, Arg<'_>)> = match &a.kind {
+                HealthAlertKind::Drift {
+                    score, ewma_abs, ..
+                } => vec![
+                    ("seq", Arg::U64(a.seq)),
+                    ("score", Arg::F64(*score)),
+                    ("ewma_abs", Arg::F64(*ewma_abs)),
+                ],
+                HealthAlertKind::BurnRate {
+                    fast_burn,
+                    slow_burn,
+                    ..
+                } => vec![
+                    ("seq", Arg::U64(a.seq)),
+                    ("fast_burn", Arg::F64(*fast_burn)),
+                    ("slow_burn", Arg::F64(*slow_burn)),
+                ],
+                HealthAlertKind::BudgetExhausted { ratio, .. } => vec![
+                    ("seq", Arg::U64(a.seq)),
+                    ("ratio", Arg::F64(*ratio)),
+                ],
+            };
+            self.add_instant(PID_HEALTH, 0, &label, a.at_ms, &args);
+        }
+    }
+
+    /// Lower a registry's counters and histograms as counter (`C`) samples
+    /// on [`PID_COUNTERS`] at instant `at_ms` — one sample per counter, and
+    /// count/mean/p50/p99/max per histogram. Callers that already name
+    /// `PID_COUNTERS` (the cluster load overlay) compose freely: this emits
+    /// no process metadata of its own.
+    pub fn add_registry(&mut self, registry: &crate::registry::Registry, at_ms: f64) {
+        for (name, v) in registry.counter_rows() {
+            self.add_counter(PID_COUNTERS, name, at_ms, &[("value", v as f64)]);
+        }
+        for h in crate::registry::Hist::ALL {
+            let hist = registry.hist(h);
+            self.add_counter(
+                PID_COUNTERS,
+                h.name(),
+                at_ms,
+                &[
+                    ("count", hist.count() as f64),
+                    ("mean", hist.mean()),
+                    ("p50", hist.quantile_bound(50.0)),
+                    ("p99", hist.quantile_bound(99.0)),
+                    ("max", hist.max()),
                 ],
             );
         }

@@ -1,0 +1,225 @@
+//! The violation flight recorder.
+//!
+//! A fixed-capacity ring of recent scheduling rounds — each a bounded
+//! snapshot of the decision-ledger row plus engine health counters — that
+//! is dumped as `flight.json` the first time a run-health alert trips
+//! (SLO budget exhausted, or prediction-error drift). The point is
+//! post-mortem locality: the rounds *leading up to* a violation are
+//! explorable without re-running the experiment with full tracing.
+//!
+//! The dump is latched: only the first trip produces one, its size is
+//! bounded by [`FlightConfig::capacity`], and every timestamp in it is the
+//! simulation clock, so the bytes are deterministic for a fixed seed.
+
+use crate::export::{esc, fmt_f64};
+use std::collections::VecDeque;
+
+/// Flight-recorder tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightConfig {
+    /// Rounds retained in the ring (and the maximum rounds in a dump).
+    pub capacity: usize,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        Self { capacity: 64 }
+    }
+}
+
+/// One round's bounded snapshot: the ledger join plus engine health
+/// counters at completion time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlightRound {
+    /// Scheduling-round id.
+    pub round: u64,
+    /// Round completion instant on the simulation clock, ms.
+    pub at_ms: f64,
+    /// Group width (queries in the chosen group).
+    pub ways: usize,
+    /// Queue depth the scheduler saw.
+    pub queue_len: usize,
+    /// Queries dropped by the decision.
+    pub dropped: usize,
+    /// Predicted group latency, ms (NaN when the round planned nothing).
+    pub predicted_ms: f64,
+    /// Measured kernel time, ms.
+    pub actual_exec_ms: f64,
+    /// Signed relative prediction error (NaN when unusable).
+    pub rel_err: f64,
+    /// Critical query's headroom at dispatch, ms.
+    pub headroom_ms: f64,
+    /// Engine events processed so far (run cumulative).
+    pub engine_events: u64,
+    /// Engine max concurrently-active queries so far.
+    pub engine_max_active: u64,
+}
+
+/// A latched flight dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// What tripped the recorder.
+    pub reason: String,
+    /// Trip instant on the simulation clock, ms.
+    pub at_ms: f64,
+    /// The retained rounds, oldest → newest.
+    pub rounds: Vec<FlightRound>,
+}
+
+impl FlightDump {
+    /// Hand-rolled JSON (insertion-ordered, NaN → null), matching the
+    /// exporter's byte-determinism conventions.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"reason\":\"{}\",", esc(&self.reason)));
+        s.push_str(&format!("\"at_ms\":{},", fmt_f64(self.at_ms)));
+        s.push_str(&format!("\"rounds\":{},\"ring\":[\n", self.rounds.len()));
+        for (i, r) in self.rounds.iter().enumerate() {
+            s.push_str(&format!(
+                "{{\"round\":{},\"at_ms\":{},\"ways\":{},\"queue_len\":{},\"dropped\":{},\"predicted_ms\":{},\"actual_exec_ms\":{},\"rel_err\":{},\"headroom_ms\":{},\"engine_events\":{},\"engine_max_active\":{}}}",
+                r.round,
+                fmt_f64(r.at_ms),
+                r.ways,
+                r.queue_len,
+                r.dropped,
+                fmt_f64(r.predicted_ms),
+                fmt_f64(r.actual_exec_ms),
+                fmt_f64(r.rel_err),
+                fmt_f64(r.headroom_ms),
+                r.engine_events,
+                r.engine_max_active,
+            ));
+            if i + 1 < self.rounds.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("]}\n");
+        s
+    }
+
+    /// The JSON of "nothing tripped" — lets reports always emit a
+    /// well-formed `flight.json`.
+    pub fn empty_json() -> String {
+        "{\"reason\":\"none\",\"at_ms\":null,\"rounds\":0,\"ring\":[\n]}\n".to_string()
+    }
+}
+
+/// Fixed-capacity ring of recent rounds with a latched trip.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    cfg: FlightConfig,
+    ring: VecDeque<FlightRound>,
+    dump: Option<FlightDump>,
+}
+
+impl FlightRecorder {
+    /// An empty recorder.
+    pub fn new(cfg: FlightConfig) -> Self {
+        Self {
+            ring: VecDeque::with_capacity(cfg.capacity),
+            cfg,
+            dump: None,
+        }
+    }
+
+    /// Record one completed round, evicting the oldest at capacity.
+    pub fn push(&mut self, round: FlightRound) {
+        if self.ring.len() == self.cfg.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(round);
+    }
+
+    /// Trip the recorder: the first call latches a dump of the current
+    /// ring; later calls are no-ops (the first alert is the one worth
+    /// explaining).
+    pub fn trip(&mut self, reason: &str, at_ms: f64) {
+        if self.dump.is_some() {
+            return;
+        }
+        self.dump = Some(FlightDump {
+            reason: reason.to_string(),
+            at_ms,
+            rounds: self.ring.iter().copied().collect(),
+        });
+    }
+
+    /// The latched dump, if any alert tripped.
+    pub fn dump(&self) -> Option<&FlightDump> {
+        self.dump.as_ref()
+    }
+
+    /// Rounds currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no round has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(i: u64) -> FlightRound {
+        FlightRound {
+            round: i,
+            at_ms: i as f64 * 2.0,
+            ways: 2,
+            queue_len: 5,
+            dropped: 0,
+            predicted_ms: 10.0,
+            actual_exec_ms: 10.5,
+            rel_err: 0.047,
+            headroom_ms: 3.0,
+            engine_events: i * 100,
+            engine_max_active: 4,
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let mut fr = FlightRecorder::new(FlightConfig { capacity: 4 });
+        for i in 0..10 {
+            fr.push(round(i));
+        }
+        assert_eq!(fr.len(), 4);
+        fr.trip("drift:solo", 19.0);
+        let d = fr.dump().unwrap();
+        let rounds: Vec<u64> = d.rounds.iter().map(|r| r.round).collect();
+        assert_eq!(rounds, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn trip_latches_first_reason() {
+        let mut fr = FlightRecorder::new(FlightConfig::default());
+        fr.push(round(1));
+        fr.trip("slo_budget:svc0", 5.0);
+        fr.push(round(2));
+        fr.trip("drift:solo", 9.0);
+        let d = fr.dump().unwrap();
+        assert_eq!(d.reason, "slo_budget:svc0");
+        assert_eq!(d.at_ms, 5.0);
+        assert_eq!(d.rounds.len(), 1);
+    }
+
+    #[test]
+    fn json_is_balanced_and_handles_nan() {
+        let mut fr = FlightRecorder::new(FlightConfig::default());
+        let mut r = round(3);
+        r.predicted_ms = f64::NAN;
+        r.rel_err = f64::NAN;
+        fr.push(r);
+        fr.trip("drift:2-way", 6.0);
+        let json = fr.dump().unwrap().to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"predicted_ms\":null"));
+        assert!(json.contains("\"reason\":\"drift:2-way\""));
+        let empty = FlightDump::empty_json();
+        assert_eq!(empty.matches('{').count(), empty.matches('}').count());
+    }
+}

@@ -27,15 +27,25 @@
 //! byte-identical to the uninstrumented loop, which the golden checksum
 //! tests pin.
 
+pub mod drift;
 pub mod event;
 pub mod export;
+pub mod flight;
+pub mod health;
 pub mod ledger;
 pub mod registry;
+pub mod sketch;
+pub mod slo;
 
+pub use drift::{width_class, width_class_label, DriftAlarm, DriftConfig, DriftDetector, WIDTH_CLASSES};
 pub use event::{QueryEvent, QueryEventKind, WallKernelSpan};
-pub use export::{ChromeTrace, PID_COUNTERS, PID_GPU, PID_SERVING};
+pub use export::{ChromeTrace, PID_COUNTERS, PID_GPU, PID_HEALTH, PID_SERVING};
+pub use flight::{FlightConfig, FlightDump, FlightRecorder, FlightRound};
+pub use health::{HealthAlert, HealthAlertKind, HealthConfig, RunHealth};
 pub use ledger::{DecisionLedger, LedgerEntry, PredictionErrorReport, RoundEntry};
 pub use registry::{Counter, Hist, Histogram, Registry};
+pub use sketch::{QuantileSketch, WindowedMoments};
+pub use slo::{SloAlert, SloConfig, SloMonitor};
 
 use abacus_metrics::QueryOutcome;
 use dnn_models::ModelId;
@@ -56,6 +66,10 @@ pub struct Telemetry {
     pub registry: Registry,
     kernel_trace: bool,
     predictor_ways: Option<usize>,
+    /// Streaming run-health monitors (sketches, drift, SLO burn, flight
+    /// recorder) — `None` unless explicitly enabled, so plain telemetry
+    /// stays monitor-free and its recorded streams byte-identical.
+    health: Option<Box<RunHealth>>,
 }
 
 impl Telemetry {
@@ -70,6 +84,30 @@ impl Telemetry {
             kernel_trace: true,
             ..Self::default()
         }
+    }
+
+    /// Telemetry with the streaming run-health monitors enabled at their
+    /// default tuning.
+    pub fn with_health() -> Self {
+        let mut t = Self::default();
+        t.enable_health(HealthConfig::default());
+        t
+    }
+
+    /// Enable (or re-tune) the run-health monitors on an existing
+    /// `Telemetry` — composes with [`Telemetry::with_kernel_trace`].
+    pub fn enable_health(&mut self, cfg: HealthConfig) {
+        self.health = Some(Box::new(RunHealth::new(cfg)));
+    }
+
+    /// The run-health monitors, when enabled.
+    pub fn health(&self) -> Option<&RunHealth> {
+        self.health.as_deref()
+    }
+
+    /// Mutable run-health monitors, when enabled.
+    pub fn health_mut(&mut self) -> Option<&mut RunHealth> {
+        self.health.as_deref_mut()
     }
 
     /// Whether kernel spans should be harvested after each group.
@@ -101,6 +139,9 @@ impl Telemetry {
     /// A query entered the node queue.
     pub fn on_arrive(&mut self, query: u64, at_ms: f64, service: usize, model: ModelId, qos_ms: f64) {
         self.registry.inc(Counter::QueriesArrived);
+        if let Some(h) = self.health.as_deref_mut() {
+            h.note_service(service, qos_ms);
+        }
         self.events.push(QueryEvent {
             query,
             at_ms,
@@ -143,6 +184,9 @@ impl Telemetry {
         if outcome == QueryOutcome::Completed {
             self.registry.observe(Hist::QueueDelayMs, queue_ms);
         }
+        if let Some(h) = self.health.as_deref_mut() {
+            h.on_retire(at_ms, service, outcome, latency_ms, queue_ms);
+        }
         self.events.push(QueryEvent {
             query,
             at_ms,
@@ -153,6 +197,34 @@ impl Telemetry {
                 service,
             },
         });
+    }
+
+    /// Back-fill the most recent ledger row with its measured execution and
+    /// feed the completed round into the run-health monitors (when
+    /// enabled). Call *after* the round's engine counters have been set so
+    /// the flight-recorder snapshot sees them fresh.
+    pub fn on_round_complete(
+        &mut self,
+        round: u64,
+        exec_start_ms: f64,
+        actual_ms: f64,
+        actual_exec_ms: f64,
+    ) {
+        self.ledger
+            .complete_last(round, exec_start_ms, actual_ms, actual_exec_ms);
+        if let Some(h) = self.health.as_deref_mut() {
+            let row = self
+                .ledger
+                .rows()
+                .last()
+                .expect("complete_last guarantees a row");
+            h.on_round(
+                row,
+                exec_start_ms + actual_ms,
+                self.registry.get(Counter::EngineEvents),
+                self.registry.get(Counter::EngineMaxActive),
+            );
+        }
     }
 
     /// Record one engine kernel span, rebased from group-local engine time

@@ -196,6 +196,13 @@ impl Histogram {
         }
     }
 
+    /// Record one observation.
+    ///
+    /// Bucket edges are **inclusive upper bounds**: an observation exactly
+    /// equal to an edge lands in the *lower* bucket (`v > edge` advances,
+    /// `v == edge` does not). This is the convention `edges()` documents
+    /// ("upper bucket edges (inclusive)") and tests pin — a `GroupWays`
+    /// observation of exactly 2.0 counts in the `≤2` bucket, not `≤3`.
     fn record(&mut self, v: f64) {
         let mut b = 0usize;
         while b < self.edges.len() && v > self.edges[b] {
@@ -231,6 +238,12 @@ impl Histogram {
     /// Largest observed value.
     pub fn max(&self) -> f64 {
         self.max
+    }
+
+    /// Per-bucket observation counts: 15 bounded buckets followed by the
+    /// overflow bucket.
+    pub fn buckets(&self) -> &[u64; 16] {
+        &self.buckets
     }
 
     /// Upper bound of the bucket containing the `p`-th percentile
@@ -358,5 +371,45 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.quantile_bound(50.0), 0.0);
+        // Zero-observation display values: no NaN anywhere.
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert!(h.buckets().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn exact_boundary_value_lands_in_lower_bucket() {
+        // The pinned convention: edges are inclusive upper bounds, so an
+        // observation exactly on an edge stays in the lower bucket.
+        let mut r = Registry::new();
+        r.observe(Hist::GroupWays, 2.0); // edge between buckets ≤2 and ≤3
+        let h = r.hist(Hist::GroupWays);
+        assert_eq!(h.buckets()[1], 1, "v == edge must land in the ≤2 bucket");
+        assert_eq!(h.buckets()[2], 0);
+        assert_eq!(h.quantile_bound(100.0), 2.0);
+        // Infinitesimally above the edge crosses into the next bucket.
+        let mut r2 = Registry::new();
+        r2.observe(Hist::GroupWays, 2.0 + 1e-9);
+        assert_eq!(r2.hist(Hist::GroupWays).buckets()[2], 1);
+    }
+
+    #[test]
+    fn overflow_bucket_accounting() {
+        let mut r = Registry::new();
+        // Last edge of the MILLIS scale is 5000; exactly 5000 is bounded,
+        // anything above it overflows.
+        r.observe(Hist::QueueDelayMs, 5000.0);
+        r.observe(Hist::QueueDelayMs, 5000.1);
+        r.observe(Hist::QueueDelayMs, 80_000.0);
+        let h = r.hist(Hist::QueueDelayMs);
+        assert_eq!(h.buckets()[14], 1, "v == last edge stays bounded");
+        assert_eq!(h.buckets()[15], 2, "two observations overflow");
+        assert_eq!(h.count(), 3);
+        // Overflow contributes to sum/mean/max like any observation…
+        assert_eq!(h.max(), 80_000.0);
+        assert!((h.sum() - 90_000.1).abs() < 1e-6);
+        // …and the overflow bucket's quantile bound is the observed max,
+        // not the (unbounded) edge.
+        assert_eq!(h.quantile_bound(99.0), 80_000.0);
     }
 }

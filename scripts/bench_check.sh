@@ -4,7 +4,8 @@
 #   * the batched MLP inference microbench (BENCH_search.json)
 #   * the serving substrate: executor groups/sec + fig14 cell wall time
 #     (BENCH_serving.json); its --check also gates the telemetry overhead —
-#     a counters-only Telemetry may cost at most 2% of an Abacus cell
+#     a Telemetry with the run-health monitors enabled (sketches, drift,
+#     SLO burn, flight recorder) may cost at most 2% of an Abacus cell
 #   * cold-start offline training: minibatch trainer throughput and the
 #     serial/pooled weight-identity contract (BENCH_train.json)
 #   * the discrete-event engine core: events/sec vs the embedded
@@ -79,6 +80,23 @@ cargo run --release -q -p abacus-cli --bin abacus-repro -- pareto --fast --out "
 for f in pareto.csv pareto_width.csv; do
     cmp "$PARETO_SERIAL/$f" "$PARETO_PARALLEL/$f" || {
         echo "pareto sweep $f diverged between serial and parallel runs" >&2
+        exit 1
+    }
+done
+
+# Run-health determinism gate: the `health` study's monitors (drift CUSUMs,
+# burn-rate windows, flight recorder) run on the simulation clock, so the
+# whole report — CSV and JSON alert streams included — must be byte-identical
+# across the serial and parallel cell schedules.
+echo "== run-health serial/parallel byte gate =="
+HEALTH_SERIAL=$(mktemp -d)
+HEALTH_PARALLEL=$(mktemp -d)
+trap 'rm -rf "$FAULTS_SERIAL" "$FAULTS_PARALLEL" "$PARETO_SERIAL" "$PARETO_PARALLEL" "$HEALTH_SERIAL" "$HEALTH_PARALLEL"' EXIT
+cargo run --release -q -p abacus-cli --bin abacus-repro -- health --fast --out "$HEALTH_SERIAL" --serial >/dev/null
+cargo run --release -q -p abacus-cli --bin abacus-repro -- health --fast --out "$HEALTH_PARALLEL" >/dev/null
+for f in health.csv health.json flight.json; do
+    cmp "$HEALTH_SERIAL/$f" "$HEALTH_PARALLEL/$f" || {
+        echo "run-health study $f diverged between serial and parallel runs" >&2
         exit 1
     }
 done

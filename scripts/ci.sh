@@ -84,6 +84,18 @@ cmp "$TRACE_OUT/trace.json" "$TRACE_SERIAL/trace.json" || {
     exit 1
 }
 
+echo "== run-health smoke =="
+HEALTH_OUT=$(mktemp -d)
+trap 'rm -rf "$TRACE_OUT" "$TRACE_SERIAL" "$HEALTH_OUT"' EXIT
+cargo run --release -q -p abacus-cli --bin abacus-repro -- health --fast --out "$HEALTH_OUT" >/dev/null
+for f in health.json flight.json; do
+    python3 -m json.tool "$HEALTH_OUT/$f" >/dev/null || {
+        echo "$f is not valid JSON" >&2
+        exit 1
+    }
+done
+[[ -s "$HEALTH_OUT/health.csv" ]] || { echo "health.csv missing/empty" >&2; exit 1; }
+
 echo "== bench gates =="
 scripts/bench_check.sh
 
